@@ -1,0 +1,14 @@
+"""Section 5.4.2: BATMAN-style bandwidth balancing on Alloy and Banshee."""
+
+from conftest import run_and_report
+
+from repro.experiments.figures import extension_bandwidth_balance
+
+
+def test_bandwidth_balancing(benchmark):
+    result = run_and_report(benchmark, extension_bandwidth_balance, "Section 5.4.2: bandwidth balancing")
+    rows = {row["scheme"]: row for row in result["rows"]}
+    # The paper: the optimisation helps Alloy more than Banshee (Banshee
+    # already consumes less total bandwidth), and never hurts catastrophically.
+    assert rows["Alloy"]["avg_gain_pct"] >= rows["Banshee"]["avg_gain_pct"] - 5.0
+    assert rows["Banshee"]["avg_gain_pct"] > -10.0

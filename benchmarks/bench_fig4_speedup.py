@@ -1,0 +1,14 @@
+"""Figure 4: speedup normalised to NoCache (plus MPKI) for all 16 workloads."""
+
+from conftest import run_and_report
+
+from repro.experiments.figures import figure4_speedup
+
+
+def test_figure4_speedup(benchmark):
+    result = run_and_report(benchmark, figure4_speedup, "Figure 4: speedup over NoCache / MPKI")
+    geomean = result["summary"]["geomean_speedup"]
+    # Shape checks: every scheme produced a geometric-mean speedup, and the
+    # schemes the paper ranks highest are present.
+    assert set(geomean) == {"Unison", "TDC", "Alloy 1", "Alloy 0.1", "Banshee", "CacheOnly"}
+    assert all(value > 0 for value in geomean.values())

@@ -1,0 +1,12 @@
+"""Figure 5: in-package DRAM traffic breakdown (bytes per instruction)."""
+
+from conftest import run_and_report
+
+from repro.experiments.figures import figure5_in_package_traffic
+
+
+def test_figure5_in_package_traffic(benchmark):
+    result = run_and_report(benchmark, figure5_in_package_traffic, "Figure 5: in-package DRAM traffic (bytes/instr)")
+    averages = result["summary"]["average_total_bpi"]
+    # Banshee's headline claim: lowest in-package traffic of all cache schemes.
+    assert averages["Banshee"] <= min(value for label, value in averages.items() if label != "Banshee")

@@ -1,0 +1,15 @@
+"""Figure 6: off-package DRAM traffic (bytes per instruction)."""
+
+from conftest import run_and_report
+
+from repro.experiments.figures import figure6_off_package_traffic
+
+
+def test_figure6_off_package_traffic(benchmark):
+    result = run_and_report(benchmark, figure6_off_package_traffic, "Figure 6: off-package DRAM traffic (bytes/instr)")
+    averages = result["summary"]["average_off_bpi"]
+    # Banshee must not pay for its in-package efficiency with extra
+    # off-package traffic (the paper reports it is slightly *lower* than the
+    # best Alloy configuration and far lower than Unison/TDC).
+    assert averages["Banshee"] < averages["Unison"]
+    assert averages["Banshee"] < averages["TDC"]

@@ -1,0 +1,14 @@
+"""Figure 7: replacement-policy ablation (LRU / FBR-no-sampling / Banshee / TDC)."""
+
+from conftest import run_and_report
+
+from repro.experiments.figures import figure7_replacement_policies
+
+
+def test_figure7_replacement_policies(benchmark):
+    result = run_and_report(benchmark, figure7_replacement_policies, "Figure 7: replacement policy ablation")
+    rows = {row["policy"]: row for row in result["rows"]}
+    # Sampling must cut the DRAM-cache (in-package) traffic of FBR, and the
+    # LRU-on-every-miss ablation must be the most traffic-hungry Banshee variant.
+    assert rows["Banshee"]["in_package_bpi"] <= rows["Banshee FBR no sample"]["in_package_bpi"]
+    assert rows["Banshee LRU"]["in_package_bpi"] >= rows["Banshee"]["in_package_bpi"]

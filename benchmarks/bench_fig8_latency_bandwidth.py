@@ -1,0 +1,15 @@
+"""Figure 8: sweep of in-package DRAM latency and bandwidth."""
+
+from conftest import run_and_report
+
+from repro.experiments.figures import figure8_latency_bandwidth
+
+
+def test_figure8_latency_bandwidth(benchmark):
+    result = run_and_report(benchmark, figure8_latency_bandwidth, "Figure 8: DRAM cache latency / bandwidth sweep")
+    rows = result["rows"]
+    banshee_bw = {row["point"]: row["norm_speedup"] for row in rows if row["sweep"] == "bandwidth" and row["scheme"] == "Banshee"}
+    # More in-package bandwidth must not hurt materially (the paper:
+    # performance is more sensitive to bandwidth than to latency).  A small
+    # tolerance absorbs noise at very short trace lengths.
+    assert banshee_bw["8X"] >= banshee_bw["2X"] - 0.1

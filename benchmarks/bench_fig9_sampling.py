@@ -1,0 +1,17 @@
+"""Figure 9: sampling-coefficient sweep (miss rate and traffic breakdown)."""
+
+from conftest import run_and_report
+
+from repro.experiments.figures import figure9_sampling
+
+
+def test_figure9_sampling(benchmark):
+    result = run_and_report(benchmark, figure9_sampling, "Figure 9: sampling coefficient sweep")
+    rows = {row["sampling_coefficient"]: row for row in result["rows"]}
+    # Counter (metadata) traffic must fall as the sampling coefficient falls;
+    # the miss rate should rise only modestly (paper: "only by a small
+    # amount").  At very short trace lengths a lower coefficient also slows
+    # cache warm-up, so the tolerance is generous; it tightens naturally as
+    # REPRO_BENCH_RECORDS grows.
+    assert rows[0.01]["Counter"] <= rows[1.0]["Counter"]
+    assert rows[0.01]["miss_rate"] <= rows[1.0]["miss_rate"] + 0.45

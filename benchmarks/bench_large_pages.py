@@ -1,0 +1,15 @@
+"""Section 5.4.1: large (2 MB) page support on the graph workloads."""
+
+from conftest import run_and_report
+
+from repro.experiments.figures import extension_large_pages
+
+
+def test_large_pages(benchmark):
+    result = run_and_report(benchmark, extension_large_pages, "Section 5.4.1: 2 MB pages vs 4 KB pages")
+    # The paper reports a modest average gain (+3.6%).  At the scaled trace
+    # lengths of this harness the 2 MB partition warms up very slowly (its
+    # sampling coefficient is 0.001), so the reproduction only checks that the
+    # experiment runs end to end and stays within a wide band; see
+    # EXPERIMENTS.md for the discussion.
+    assert result["summary"]["average_gain_pct"] > -60.0

@@ -1,0 +1,15 @@
+"""Table 1: measured per-scheme hit/replacement behaviour."""
+
+from conftest import run_and_report
+
+from repro.experiments.figures import table1_behavior
+
+
+def test_table1_behavior(benchmark):
+    result = run_and_report(benchmark, table1_behavior, "Table 1: per-scheme behaviour (measured)")
+    rows = {row["scheme"]: row for row in result["rows"]}
+    # Banshee/TDC hits move ~64 B; Alloy ~96 B; Unison >= 128 B (Table 1).
+    assert rows["Banshee"]["hit_traffic_bytes"] < rows["Alloy"]["hit_traffic_bytes"] + 16
+    assert rows["Unison"]["hit_traffic_bytes"] > rows["TDC"]["hit_traffic_bytes"]
+    # HMA has no common-path tag traffic at all.
+    assert rows["HMA"]["tag_bpi"] == 0.0

@@ -1,0 +1,13 @@
+"""Table 5: page-table update cost sensitivity."""
+
+from conftest import run_and_report
+
+from repro.experiments.figures import table5_pte_update_cost
+
+
+def test_table5_pte_update_cost(benchmark):
+    result = run_and_report(benchmark, table5_pte_update_cost, "Table 5: PTE update cost sweep")
+    rows = {row["update_cost_us"]: row for row in result["rows"]}
+    # The overhead must stay small and grow (sub-linearly) with the cost.
+    assert rows[10.0]["avg_perf_loss_pct"] <= rows[40.0]["avg_perf_loss_pct"] + 0.5
+    assert rows[40.0]["avg_perf_loss_pct"] < 20.0

@@ -1,0 +1,14 @@
+"""Table 6: DRAM-cache miss rate vs associativity."""
+
+from conftest import run_and_report
+
+from repro.experiments.figures import table6_associativity
+
+
+def test_table6_associativity(benchmark):
+    result = run_and_report(benchmark, table6_associativity, "Table 6: associativity sweep")
+    rates = {row["ways"]: row["miss_rate"] for row in result["rows"]}
+    # Higher associativity must not make the miss rate meaningfully worse,
+    # with quickly diminishing returns beyond 4 ways (the paper's design point).
+    assert rates[8] <= rates[1] + 0.02
+    assert abs(rates[8] - rates[4]) < 0.05

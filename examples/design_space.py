@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Design-space exploration of Banshee's own parameters.
+
+Sweeps the three knobs the paper studies in its sensitivity section —
+sampling coefficient (Figure 9), DRAM-cache associativity (Table 6) and the
+tag-buffer / PTE-update cost (Table 5) — on a workload of your choice, and
+prints how miss rate, metadata traffic and performance respond.
+
+Usage::
+
+    python examples/design_space.py [workload] [records_per_core]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SystemConfig, run_simulation
+from repro.experiments.report import format_table
+
+
+def run(workload, records, **overrides):
+    config = SystemConfig.scaled_default(scheme="banshee").with_scheme("banshee", **overrides)
+    return run_simulation(config, workload_name=workload, records_per_core=records)
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    records = int(sys.argv[2]) if len(sys.argv) > 2 else 6000
+
+    rows = []
+    for coefficient in (1.0, 0.1, 0.01):
+        result = run(workload, records, sampling_coefficient=coefficient)
+        rows.append([coefficient, round(result.dram_cache_miss_rate, 3),
+                     round(result.in_bytes_per_instruction.get("Counter", 0.0), 3),
+                     round(result.ipc, 3)])
+    print(format_table(["sampling_coeff", "miss_rate", "counter_bpi", "ipc"], rows,
+                       title=f"Sampling coefficient sweep ({workload})"))
+
+    rows = []
+    for ways in (1, 2, 4, 8):
+        result = run(workload, records, ways=ways)
+        rows.append([ways, round(result.dram_cache_miss_rate, 3), round(result.ipc, 3)])
+    print()
+    print(format_table(["ways", "miss_rate", "ipc"], rows, title="Associativity sweep"))
+
+    rows = []
+    for cost in (0.0, 10.0, 20.0, 40.0):
+        result = run(workload, records, tag_buffer_flush_cost_us=cost)
+        rows.append([cost, round(result.cycles, 0), round(result.os_stall_cycles, 0)])
+    print()
+    print(format_table(["pte_update_cost_us", "cycles", "os_stall_cycles"], rows,
+                       title="PTE update cost sweep"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+The project is configured through pyproject.toml; this file exists so that
+legacy editable installs (``pip install -e .``) work on environments whose
+setuptools/pip are too old for PEP 660 editable wheels.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of Banshee: Bandwidth-Efficient DRAM Caching Via "
+        "Software/Hardware Cooperation (MICRO 2017)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,57 @@
+"""repro — a reproduction of Banshee: Bandwidth-Efficient DRAM Caching
+Via Software/Hardware Cooperation (Yu et al., MICRO 2017).
+
+The package provides:
+
+* a trace-driven multicore memory-system simulator (:mod:`repro.sim`,
+  :mod:`repro.dram`, :mod:`repro.cache`, :mod:`repro.vm`, :mod:`repro.cpu`),
+* the Banshee DRAM-cache design (:mod:`repro.core`) and the baselines it is
+  compared against (:mod:`repro.dramcache`),
+* the workload generators of the paper's evaluation (:mod:`repro.workloads`),
+* and an experiment harness that regenerates every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import SystemConfig, run_simulation
+
+    config = SystemConfig.scaled_default(scheme="banshee")
+    result = run_simulation(config, workload_name="pagerank", records_per_core=20_000)
+    print(result.summary())
+"""
+
+from repro.experiments.runner import run_simulation
+from repro.sim.config import (
+    CacheLevelConfig,
+    CoreConfig,
+    DramCacheConfig,
+    DramConfig,
+    DramTimingConfig,
+    SystemConfig,
+    TlbConfig,
+)
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import SimulationResults, geometric_mean
+from repro.sim.system import System
+from repro.workloads.registry import EVALUATION_WORKLOADS, available_workloads, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "run_simulation",
+    "CacheLevelConfig",
+    "CoreConfig",
+    "DramCacheConfig",
+    "DramConfig",
+    "DramTimingConfig",
+    "SystemConfig",
+    "TlbConfig",
+    "SimulationEngine",
+    "SimulationResults",
+    "geometric_mean",
+    "System",
+    "EVALUATION_WORKLOADS",
+    "available_workloads",
+    "get_workload",
+    "__version__",
+]

@@ -1,0 +1,112 @@
+"""The on-chip cache hierarchy: per-core L1/L2 and a shared L3 (LLC).
+
+The hierarchy is functional: it answers "which level served this access" and
+produces the stream of dirty LLC writebacks that the memory controllers must
+handle.  Latency numbers for each level come from the core configuration and
+are applied by the core timing model.
+
+Coherence between private caches is not modelled (see DESIGN.md §2): the
+studied workloads are dominated by private data and the DRAM-cache schemes
+under comparison are below the LLC, where coherence traffic is identical for
+all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.cache.sram_cache import Eviction, SramCache
+from repro.sim.config import SystemConfig
+from repro.util.rng import DeterministicRng
+
+
+@dataclass
+class HierarchyAccess:
+    """Outcome of one access walking the hierarchy.
+
+    Attributes:
+        level: "l1", "l2", "l3" or "memory" — the level that served the access.
+        llc_miss: True when the access must go to a memory controller.
+        writebacks: dirty lines evicted from the LLC by this access (these
+            become writeback requests to the memory controllers).
+    """
+
+    level: str
+    llc_miss: bool
+    writebacks: List[Eviction] = field(default_factory=list)
+
+
+class CacheHierarchy:
+    """Private L1/L2 per core plus a shared L3."""
+
+    def __init__(self, config: SystemConfig, rng: Optional[DeterministicRng] = None) -> None:
+        self.config = config
+        rng = rng if rng is not None else DeterministicRng(config.seed)
+        self.l1: List[SramCache] = [
+            SramCache(f"l1-{core}", config.l1, rng=rng.fork(100 + core)) for core in range(config.num_cores)
+        ]
+        self.l2: List[SramCache] = [
+            SramCache(f"l2-{core}", config.l2, rng=rng.fork(200 + core)) for core in range(config.num_cores)
+        ]
+        self.l3 = SramCache("l3", config.l3, rng=rng.fork(300))
+
+    def access(self, core_id: int, addr: int, is_write: bool) -> HierarchyAccess:
+        """Walk the hierarchy for one demand access from ``core_id``."""
+        if not 0 <= core_id < self.config.num_cores:
+            raise ValueError(f"core_id {core_id} out of range")
+        writebacks: List[Eviction] = []
+
+        l1 = self.l1[core_id]
+        l1_result = l1.access(addr, is_write)
+        if l1_result.hit:
+            return HierarchyAccess(level="l1", llc_miss=False)
+        if l1_result.eviction is not None and l1_result.eviction.dirty:
+            # Dirty L1 victim is absorbed by the L2 (write-back).
+            l2_evict = self.l2[core_id].fill(l1_result.eviction.addr, dirty=True)
+            if l2_evict is not None and l2_evict.dirty:
+                writebacks.extend(self._fill_llc(l2_evict.addr, dirty=True))
+
+        l2 = self.l2[core_id]
+        l2_result = l2.access(addr, is_write)
+        if l2_result.eviction is not None and l2_result.eviction.dirty:
+            writebacks.extend(self._fill_llc(l2_result.eviction.addr, dirty=True))
+        if l2_result.hit:
+            return HierarchyAccess(level="l2", llc_miss=False, writebacks=writebacks)
+
+        l3_result = self.l3.access(addr, is_write)
+        if l3_result.eviction is not None and l3_result.eviction.dirty:
+            writebacks.append(l3_result.eviction)
+        if l3_result.hit:
+            return HierarchyAccess(level="l3", llc_miss=False, writebacks=writebacks)
+        return HierarchyAccess(level="memory", llc_miss=True, writebacks=writebacks)
+
+    def _fill_llc(self, addr: int, dirty: bool) -> List[Eviction]:
+        evicted = self.l3.fill(addr, dirty=dirty)
+        if evicted is not None and evicted.dirty:
+            return [evicted]
+        return []
+
+    def flush_page(self, page_addr: int, page_size: int) -> List[Eviction]:
+        """Scrub one page from every cache level, returning dirty lines.
+
+        This is the "address consistency" operation that PTE/TLB remapping
+        schemes with separate address spaces must perform; in Banshee it is
+        only needed for large-page reconfiguration.
+        """
+        dirty: List[Eviction] = []
+        for cache in self.l1 + self.l2 + [self.l3]:
+            dirty.extend(cache.flush_page(page_addr, page_size))
+        return dirty
+
+    def stats(self) -> dict:
+        """Aggregate hit/miss counters for all levels."""
+        return {
+            "l1_hits": sum(c.hits for c in self.l1),
+            "l1_misses": sum(c.misses for c in self.l1),
+            "l2_hits": sum(c.hits for c in self.l2),
+            "l2_misses": sum(c.misses for c in self.l2),
+            "l3_hits": self.l3.hits,
+            "l3_misses": self.l3.misses,
+            "l3_dirty_evictions": self.l3.dirty_evictions,
+        }

@@ -1,0 +1,34 @@
+"""Banshee: the paper's primary contribution.
+
+This package contains the Banshee DRAM-cache scheme and its building blocks:
+
+* :class:`repro.core.tag_buffer.TagBuffer` — the per-memory-controller table
+  of recently remapped pages that enables lazy TLB/PTE coherence.
+* :class:`repro.core.frequency.FrequencySetMetadata` — the per-set metadata
+  row (4 cached + 5 candidate pages with frequency counters).
+* :class:`repro.core.banshee.BansheeCache` — the scheme itself, including
+  the sampling-based counter updates and bandwidth-aware replacement of
+  Section 4, the policy ablations of Figure 7, and large-page support.
+* :class:`repro.core.bandwidth_balancer.BandwidthBalancer` — the BATMAN-style
+  extension of Section 5.4.2.
+"""
+
+from repro.core.bandwidth_balancer import BandwidthBalancer
+from repro.core.banshee import BansheeCache, BansheePartition
+from repro.core.frequency import FrequencySetMetadata, MetadataSlot
+from repro.core.large_pages import PartitionPlan, plan_partitions
+from repro.core.pte_extension import PteUpdateBatcher
+from repro.core.tag_buffer import TagBuffer, TagBufferEntry
+
+__all__ = [
+    "BandwidthBalancer",
+    "BansheeCache",
+    "BansheePartition",
+    "FrequencySetMetadata",
+    "MetadataSlot",
+    "PartitionPlan",
+    "plan_partitions",
+    "PteUpdateBatcher",
+    "TagBuffer",
+    "TagBufferEntry",
+]

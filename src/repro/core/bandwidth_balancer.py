@@ -1,0 +1,81 @@
+"""Bandwidth balancing extension (Section 5.4.2, after BATMAN).
+
+When nearly all traffic goes to the in-package DRAM, its channels saturate
+while the off-package channels idle; total system bandwidth is then lower
+than the sum of the two.  BATMAN addresses this by steering some accesses
+away from the in-package DRAM when its share of total traffic exceeds a
+target (80% in the paper).
+
+:class:`BandwidthBalancer` implements the decision logic: it watches the
+byte counters of both devices over a sliding window and, when the in-package
+share exceeds the target, asks the cache scheme to serve a fraction of its
+(clean) hits from off-package DRAM instead.  The redirection probability is
+proportional to how far the share is above target, so the system settles
+near the target split.
+"""
+
+from __future__ import annotations
+
+from repro.dram.device import DramDevice
+
+
+class BandwidthBalancer:
+    """BATMAN-style traffic steering between in- and off-package DRAM."""
+
+    def __init__(
+        self,
+        in_dram: DramDevice,
+        off_dram: DramDevice,
+        target_in_fraction: float = 0.8,
+        window_bytes: int = 1 << 20,
+    ) -> None:
+        if not 0.0 < target_in_fraction <= 1.0:
+            raise ValueError("target_in_fraction must be in (0, 1]")
+        if window_bytes <= 0:
+            raise ValueError("window_bytes must be positive")
+        self.in_dram = in_dram
+        self.off_dram = off_dram
+        self.target = target_in_fraction
+        self.window_bytes = window_bytes
+        self._last_in = 0
+        self._last_off = 0
+        self._redirect_probability = 0.0
+        self.redirected = 0
+        self.evaluations = 0
+
+    def _update_window(self) -> None:
+        in_total = self.in_dram.traffic.total_bytes
+        off_total = self.off_dram.traffic.total_bytes
+        delta_in = in_total - self._last_in
+        delta_off = off_total - self._last_off
+        if delta_in + delta_off < self.window_bytes:
+            return
+        self.evaluations += 1
+        share = delta_in / max(1, delta_in + delta_off)
+        if share > self.target:
+            # Steer the excess share away from the in-package DRAM.
+            self._redirect_probability = min(0.5, (share - self.target) / max(share, 1e-9))
+        else:
+            self._redirect_probability = 0.0
+        self._last_in = in_total
+        self._last_off = off_total
+
+    @property
+    def redirect_probability(self) -> float:
+        """Current probability that a clean hit should be served off-package."""
+        return self._redirect_probability
+
+    def should_redirect(self, chance: float) -> bool:
+        """Decide whether one clean hit should be redirected.
+
+        ``chance`` is a uniform random draw in [0, 1) supplied by the caller
+        so that the balancer itself stays deterministic and stateless with
+        respect to random streams.
+        """
+        self._update_window()
+        if self._redirect_probability <= 0.0:
+            return False
+        redirect = chance < self._redirect_probability
+        if redirect:
+            self.redirected += 1
+        return redirect

@@ -1,0 +1,370 @@
+"""The Banshee DRAM-cache scheme (Sections 3 and 4 of the paper).
+
+Banshee combines:
+
+* PTE/TLB-based content tracking — requests carry the cached/way bits, so a
+  hit moves exactly the 64 B demand line and a miss goes straight to
+  off-package DRAM (no probe), both with ~1x latency (Table 1);
+* per-memory-controller tag buffers providing lazy TLB/PTE coherence
+  (:mod:`repro.core.tag_buffer`, :mod:`repro.core.pte_extension`);
+* a frequency-based replacement policy with sampled counter updates and a
+  replacement threshold that only brings in pages whose expected benefit
+  outweighs the replacement traffic (Algorithm 1);
+* large-page (2 MB) support via DRAM-cache partitioning
+  (:mod:`repro.core.large_pages`);
+* an optional BATMAN-style bandwidth balancer (Section 5.4.2).
+
+Two ablations of the replacement policy are selectable through
+``DramCacheConfig.banshee_policy`` to reproduce Figure 7:
+
+* ``"lru"`` — page-granularity LRU with replacement on every miss (like
+  Unison but without a footprint cache and without tag lookups);
+* ``"fbr-nosample"`` — frequency-based replacement whose counters are read
+  and written on *every* DRAM-cache access (like CHOP);
+* ``"fbr-sample"`` — the full Banshee policy (default).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.replacement import LruPolicy
+from repro.core.bandwidth_balancer import BandwidthBalancer
+from repro.core.frequency import INVALID_PAGE, FrequencySetMetadata
+from repro.core.large_pages import PartitionPlan, plan_partitions
+from repro.core.pte_extension import PteUpdateBatcher
+from repro.core.tag_buffer import TagBuffer, TagBufferFullError
+from repro.dram.device import DramDevice
+from repro.dramcache.base import TAG_ACCESS_BYTES, DramCacheScheme, OsServices
+from repro.memctrl.request import AccessResult, MappingInfo, MemRequest
+from repro.sim.config import SystemConfig
+from repro.sim.stats import MissRateWindow, TrafficCategory
+from repro.util.rng import DeterministicRng
+
+METADATA_ACCESS_BYTES = 32
+
+
+class BansheePartition:
+    """State of the DRAM cache for one page size (regular or large pages)."""
+
+    def __init__(self, plan: PartitionPlan, config: SystemConfig, policy: str) -> None:
+        self.plan = plan
+        self.page_size = plan.page_size
+        self.ways = plan.ways
+        self.num_sets = max(1, plan.num_sets)
+        self.capacity_pages = plan.num_pages
+        self.policy = policy
+        self.sampling_coefficient = plan.sampling_coefficient
+        self.threshold = config.dram_cache.effective_threshold(plan.page_size, plan.sampling_coefficient)
+        self.counter_max = config.dram_cache.counter_max
+        num_candidates = config.dram_cache.num_candidates
+        self.metadata: List[FrequencySetMetadata] = [
+            FrequencySetMetadata(self.ways, num_candidates, self.counter_max) for _ in range(self.num_sets)
+        ]
+        self.resident: Dict[int, int] = {}
+        self.dirty: set = set()
+        self.lru = LruPolicy(self.num_sets, self.ways) if policy == "lru" else None
+
+    def set_of(self, page: int) -> int:
+        """DRAM-cache set holding ``page``."""
+        return page % self.num_sets
+
+    def is_resident(self, page: int) -> bool:
+        """Ground-truth residency."""
+        return page in self.resident
+
+    def way_of(self, page: int) -> int:
+        """Way where ``page`` resides (page must be resident)."""
+        return self.resident[page]
+
+    def mark_dirty(self, page: int) -> None:
+        """Record that the resident copy of ``page`` has been modified."""
+        if page in self.resident:
+            self.dirty.add(page)
+
+    def occupancy(self) -> int:
+        """Number of resident pages."""
+        return len(self.resident)
+
+
+class BansheeCache(DramCacheScheme):
+    """The Banshee DRAM cache."""
+
+    name = "banshee"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        in_dram: DramDevice,
+        off_dram: DramDevice,
+        rng: Optional[DeterministicRng] = None,
+        os_services: Optional[OsServices] = None,
+    ) -> None:
+        super().__init__(config, in_dram, off_dram, rng=rng, os_services=os_services)
+        cache_config = config.dram_cache
+        self.policy = cache_config.banshee_policy
+        plans = plan_partitions(cache_config, config.in_package_dram.capacity_bytes)
+        self._partitions: Dict[int, BansheePartition] = {
+            plan.page_size: BansheePartition(plan, config, self.policy) for plan in plans if plan.capacity_bytes > 0
+        }
+        self.tag_buffers: List[TagBuffer] = [
+            TagBuffer(cache_config.tag_buffer_entries, cache_config.tag_buffer_ways)
+            for _ in range(config.num_mem_controllers)
+        ]
+        self.pte_updater = PteUpdateBatcher(self.tag_buffers, self.os)
+        self.flush_threshold = cache_config.tag_buffer_flush_threshold
+        self.miss_window = MissRateWindow(window=2048, initial_rate=1.0)
+        self.balancer: Optional[BandwidthBalancer] = None
+        if cache_config.bandwidth_balance:
+            self.balancer = BandwidthBalancer(
+                in_dram, off_dram, target_in_fraction=cache_config.bandwidth_balance_target
+            )
+
+    # ------------------------------------------------------------------ wiring
+
+    def set_os_services(self, os_services: OsServices) -> None:
+        super().set_os_services(os_services)
+        self.pte_updater.set_os_services(os_services)
+
+    def partition_for(self, page_size: int) -> BansheePartition:
+        """The partition managing pages of ``page_size``."""
+        partition = self._partitions.get(page_size)
+        if partition is not None:
+            return partition
+        # Requests for an unplanned page size fall back to the first
+        # partition (e.g. a 2 MB request when no large partition was planned);
+        # the request is still served correctly, only capacity is shared.
+        return next(iter(self._partitions.values()))
+
+    def is_resident(self, page: int) -> bool:
+        partition = self.partition_for(self.page_size)
+        return partition.is_resident(page)
+
+    # ------------------------------------------------------------------ access path
+
+    def access(self, now: int, request: MemRequest, mc_id: int) -> AccessResult:
+        partition = self.partition_for(request.page_size)
+        page = request.addr // partition.page_size
+        if request.is_writeback:
+            return self._writeback(now, request, page, partition, mc_id)
+        return self._demand(now, request, page, partition, mc_id)
+
+    def _demand(
+        self, now: int, request: MemRequest, page: int, partition: BansheePartition, mc_id: int
+    ) -> AccessResult:
+        buffer = self.tag_buffers[mc_id]
+        entry = buffer.lookup(page)
+        if entry is not None:
+            carried_cached, carried_way = entry.cached, entry.way
+        else:
+            mapping = request.mapping if request.mapping is not None else MappingInfo()
+            carried_cached, carried_way = mapping.cached, mapping.way
+            # Allocate a clean (remap=0) entry so later dirty evictions of
+            # this page avoid the in-DRAM tag probe (Section 3.3).
+            try:
+                buffer.insert(page, carried_cached, carried_way, remap=False)
+            except TagBufferFullError:  # pragma: no cover - clean inserts never raise
+                pass
+
+        cached = partition.is_resident(page)
+        self.stats.inc("mapping_consistent" if cached == carried_cached else "mapping_stale")
+
+        if cached:
+            served_by = "in-package"
+            if self.balancer is not None and page not in partition.dirty and self.balancer.should_redirect(
+                self.rng.random()
+            ):
+                latency = self.read_off(now, request.addr, self.line_size, TrafficCategory.HIT_DATA)
+                served_by = "off-package"
+                self.stats.inc("balanced_hits")
+            else:
+                latency = self.read_in(now, request.addr, self.line_size, TrafficCategory.HIT_DATA)
+            if request.is_write:
+                partition.mark_dirty(page)
+        else:
+            latency = self.read_off(now, request.addr, self.line_size, TrafficCategory.MISS_DATA)
+            served_by = "off-package"
+
+        self.record_hit(cached)
+        self.miss_window.record(cached)
+        self._run_replacement_policy(now + latency, request, page, partition, mc_id, cached)
+        return AccessResult(latency=latency, dram_cache_hit=cached, served_by=served_by)
+
+    def _writeback(
+        self, now: int, request: MemRequest, page: int, partition: BansheePartition, mc_id: int
+    ) -> AccessResult:
+        buffer = self.tag_buffers[mc_id]
+        entry = buffer.lookup(page)
+        if entry is not None:
+            cached = entry.cached
+            self.stats.inc("writeback_tagbuffer_hits")
+        else:
+            # Without mapping information the controller must probe the tags
+            # stored in the DRAM cache (Section 3.3).
+            self.background_in(now, request.addr, TAG_ACCESS_BYTES, TrafficCategory.TAG)
+            cached = partition.is_resident(page)
+            self.stats.inc("writeback_tag_probes")
+        if cached:
+            self.background_in(now, request.addr, self.line_size, TrafficCategory.WRITEBACK)
+            partition.mark_dirty(page)
+            return AccessResult(latency=0, dram_cache_hit=True, served_by="in-package")
+        self.background_off(now, request.addr, self.line_size, TrafficCategory.WRITEBACK)
+        return AccessResult(latency=0, dram_cache_hit=False, served_by="off-package")
+
+    # ------------------------------------------------------------------ replacement policies
+
+    def _run_replacement_policy(
+        self, now: int, request: MemRequest, page: int, partition: BansheePartition, mc_id: int, hit: bool
+    ) -> None:
+        if partition.capacity_pages == 0:
+            return
+        if self.policy == "lru":
+            self._lru_policy(now, request, page, partition, mc_id, hit)
+            return
+        if self.policy == "fbr-nosample":
+            sample_rate = 1.0
+        else:
+            sample_rate = self.miss_window.rate * partition.sampling_coefficient
+        if not self.rng.chance(sample_rate):
+            return
+        self._fbr_sampled_update(now, request, page, partition, mc_id)
+
+    def _fbr_sampled_update(
+        self, now: int, request: MemRequest, page: int, partition: BansheePartition, mc_id: int
+    ) -> None:
+        """Algorithm 1: load the set metadata, update counters, maybe replace."""
+        set_index = partition.set_of(page)
+        meta = partition.metadata[set_index]
+        meta_addr = request.addr
+        self.background_in(now, meta_addr, METADATA_ACCESS_BYTES, TrafficCategory.COUNTER)
+        self.stats.inc("counter_reads")
+
+        cached_way = meta.find_cached(page)
+        candidate_index = meta.find_candidate(page)
+
+        if cached_way is not None:
+            meta.increment(meta.cached[cached_way])
+        elif candidate_index is not None:
+            slot = meta.candidates[candidate_index]
+            meta.increment(slot)
+            min_way, min_count = meta.min_cached()
+            if slot.count > min_count + partition.threshold:
+                self._replace(now, request, page, partition, mc_id, set_index, candidate_index, min_way)
+        else:
+            self._track_new_candidate(meta, page)
+
+        self.background_in(now, meta_addr, METADATA_ACCESS_BYTES, TrafficCategory.COUNTER)
+        self.stats.inc("counter_writes")
+
+    def _track_new_candidate(self, meta: FrequencySetMetadata, page: int) -> None:
+        """Lines 17-23 of Algorithm 1: probabilistically start tracking ``page``."""
+        if not meta.candidates:
+            return
+        index = self.rng.randint(0, len(meta.candidates))
+        victim = meta.candidates[index]
+        probability = 1.0 if not victim.valid or victim.count == 0 else 1.0 / victim.count
+        if self.rng.chance(probability):
+            meta.install_candidate(index, page, count=1)
+            self.stats.inc("candidate_installs")
+
+    def _replace(
+        self,
+        now: int,
+        request: MemRequest,
+        page: int,
+        partition: BansheePartition,
+        mc_id: int,
+        set_index: int,
+        candidate_index: int,
+        victim_way: int,
+    ) -> None:
+        """Swap the accessed candidate page with the coldest cached page."""
+        meta = partition.metadata[set_index]
+        victim_page, _victim_count, _ = meta.promote(candidate_index, victim_way)
+
+        if victim_page != INVALID_PAGE:
+            self._evict_page(now, victim_page, partition)
+        self._fill_page(now, page, victim_way, partition, dirty=request.is_write)
+        self.stats.inc("replacements")
+
+        # Both the evicted and the inserted page changed their mapping: record
+        # the remaps in this controller's tag buffer (Section 3.1).
+        self._record_remap(mc_id, page, cached=True, way=victim_way, core_id=request.core_id)
+        if victim_page != INVALID_PAGE:
+            victim_mc = victim_page % len(self.tag_buffers)
+            self._record_remap(victim_mc, victim_page, cached=False, way=0, core_id=request.core_id)
+
+    def _evict_page(self, now: int, victim_page: int, partition: BansheePartition) -> None:
+        victim_addr = victim_page * partition.page_size
+        if victim_page in partition.dirty:
+            self.background_in(now, victim_addr, partition.page_size, TrafficCategory.REPLACEMENT)
+            self.background_off(now, victim_addr, partition.page_size, TrafficCategory.WRITEBACK)
+            partition.dirty.discard(victim_page)
+            self.stats.inc("dirty_page_evictions")
+        partition.resident.pop(victim_page, None)
+        self.stats.inc("page_evictions")
+
+    def _fill_page(self, now: int, page: int, way: int, partition: BansheePartition, dirty: bool) -> None:
+        page_addr = page * partition.page_size
+        self.background_off(now, page_addr, partition.page_size, TrafficCategory.REPLACEMENT)
+        self.background_in(now, page_addr, partition.page_size, TrafficCategory.REPLACEMENT)
+        partition.resident[page] = way
+        if dirty:
+            partition.dirty.add(page)
+        self.stats.inc("page_fills")
+
+    def _record_remap(self, mc_id: int, page: int, cached: bool, way: int, core_id: int) -> None:
+        buffer = self.tag_buffers[mc_id]
+        try:
+            buffer.insert(page, cached, way, remap=True)
+        except TagBufferFullError:
+            self._flush(core_id)
+            buffer.insert(page, cached, way, remap=True)
+        if self.pte_updater.needs_flush(self.flush_threshold):
+            self._flush(core_id)
+
+    def _flush(self, core_id: int) -> None:
+        applied = self.pte_updater.flush(core_id)
+        self.stats.inc("tag_buffer_flushes")
+        self.stats.inc("pte_updates", applied)
+
+    # ------------------------------------------------------------------ LRU ablation (Figure 7)
+
+    def _lru_policy(
+        self, now: int, request: MemRequest, page: int, partition: BansheePartition, mc_id: int, hit: bool
+    ) -> None:
+        """Banshee LRU: page-granularity LRU, replacement on every miss.
+
+        The LRU recency bits live in the per-set metadata row, so every access
+        reads and writes 32 B of metadata; every miss moves a whole page (no
+        footprint cache), like Unison Cache but without the tag lookups.
+        """
+        assert partition.lru is not None
+        set_index = partition.set_of(page)
+        meta_addr = request.addr
+        self.background_in(now, meta_addr, METADATA_ACCESS_BYTES, TrafficCategory.COUNTER)
+        self.background_in(now, meta_addr, METADATA_ACCESS_BYTES, TrafficCategory.COUNTER)
+
+        if hit:
+            partition.lru.on_access(set_index, partition.way_of(page))
+            return
+
+        meta = partition.metadata[set_index]
+        valid_ways = [slot.valid for slot in meta.cached]
+        victim_way = partition.lru.victim(set_index, valid_ways)
+        victim_slot = meta.cached[victim_way]
+        if victim_slot.valid:
+            self._evict_page(now, victim_slot.page, partition)
+            self._record_remap(mc_id, victim_slot.page, cached=False, way=0, core_id=request.core_id)
+        meta.fill_way(victim_way, page, count=1, dirty=request.is_write)
+        self._fill_page(now, page, victim_way, partition, dirty=request.is_write)
+        partition.lru.on_fill(set_index, victim_way)
+        self._record_remap(mc_id, page, cached=True, way=victim_way, core_id=request.core_id)
+        self.stats.inc("replacements")
+
+    # ------------------------------------------------------------------ end of run
+
+    def finalize(self, now: int) -> None:
+        """Flush any outstanding remaps so PTE state is consistent at the end."""
+        if self.pte_updater.collect_updates():
+            self._flush(core_id=0)

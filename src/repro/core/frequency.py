@@ -1,0 +1,169 @@
+"""Per-set frequency metadata for Banshee's FBR policy (Section 4.1 / 4.2).
+
+Each DRAM-cache set owns a 32-byte metadata record stored in a tag row of the
+in-package DRAM.  The record holds, for a 4-way set, the tags and frequency
+counters of the 4 *cached* pages plus 5 *candidate* pages — pages that are not
+resident but are being tracked as potential insertions.  Counters are small
+(5 bits by default); when one saturates, all counters in the set are halved
+(Algorithm 1, lines 10–15), which preserves the relative ordering while
+keeping the counters in range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+INVALID_PAGE = -1
+
+
+@dataclass
+class MetadataSlot:
+    """One (tag, counter) slot of a metadata record."""
+
+    page: int = INVALID_PAGE
+    count: int = 0
+    valid: bool = False
+    dirty: bool = False
+
+    def clear(self) -> None:
+        """Reset the slot to the invalid state."""
+        self.page = INVALID_PAGE
+        self.count = 0
+        self.valid = False
+        self.dirty = False
+
+
+class FrequencySetMetadata:
+    """The metadata record of one DRAM-cache set."""
+
+    def __init__(self, num_ways: int, num_candidates: int, counter_max: int) -> None:
+        if num_ways <= 0:
+            raise ValueError("num_ways must be positive")
+        if num_candidates < 0:
+            raise ValueError("num_candidates must be non-negative")
+        if counter_max <= 0:
+            raise ValueError("counter_max must be positive")
+        self.num_ways = num_ways
+        self.num_candidates = num_candidates
+        self.counter_max = counter_max
+        self.cached: List[MetadataSlot] = [MetadataSlot() for _ in range(num_ways)]
+        self.candidates: List[MetadataSlot] = [MetadataSlot() for _ in range(num_candidates)]
+
+    # ------------------------------------------------------------------ queries
+
+    def find_cached(self, page: int) -> Optional[int]:
+        """Way index of ``page`` if it is one of the cached slots."""
+        for way, slot in enumerate(self.cached):
+            if slot.valid and slot.page == page:
+                return way
+        return None
+
+    def find_candidate(self, page: int) -> Optional[int]:
+        """Candidate-slot index of ``page`` if it is being tracked."""
+        for index, slot in enumerate(self.candidates):
+            if slot.valid and slot.page == page:
+                return index
+        return None
+
+    def min_cached(self) -> Tuple[int, int]:
+        """(way, count) of the coldest cached slot; invalid slots count as 0."""
+        best_way = 0
+        best_count = None
+        for way, slot in enumerate(self.cached):
+            count = slot.count if slot.valid else 0
+            if best_count is None or count < best_count:
+                best_way = way
+                best_count = count
+        return best_way, best_count if best_count is not None else 0
+
+    def free_way(self) -> Optional[int]:
+        """An invalid cached slot, if one exists."""
+        for way, slot in enumerate(self.cached):
+            if not slot.valid:
+                return way
+        return None
+
+    # ------------------------------------------------------------------ mutation
+
+    def increment(self, slot: MetadataSlot) -> bool:
+        """Increment one counter; halve all counters on saturation.
+
+        Returns True if a halving pass happened.
+        """
+        slot.count += 1
+        if slot.count >= self.counter_max:
+            self.halve_all()
+            return True
+        return False
+
+    def halve_all(self) -> None:
+        """Divide every counter in the set by two (hardware shift)."""
+        for slot in self.cached:
+            slot.count //= 2
+        for slot in self.candidates:
+            slot.count //= 2
+
+    def install_candidate(self, index: int, page: int, count: int = 1) -> None:
+        """Overwrite candidate slot ``index`` with ``page``."""
+        slot = self.candidates[index]
+        slot.page = page
+        slot.count = min(count, self.counter_max - 1)
+        slot.valid = True
+        slot.dirty = False
+
+    def promote(self, candidate_index: int, way: int) -> Tuple[int, int, bool]:
+        """Swap a candidate into a cached way.
+
+        The page previously occupying ``way`` (if any) takes over the
+        candidate slot, preserving its counter so it can compete to come back
+        later.  Returns ``(old_page, old_count, old_dirty)`` describing the
+        victim (``INVALID_PAGE`` when the way was empty).
+        """
+        cand = self.candidates[candidate_index] if self.candidates else MetadataSlot()
+        target = self.cached[way]
+        old_page, old_count, old_dirty = target.page, target.count, target.dirty
+        old_valid = target.valid
+
+        target.page = cand.page
+        target.count = cand.count
+        target.valid = True
+        target.dirty = False
+
+        if self.candidates:
+            if old_valid:
+                cand.page = old_page
+                cand.count = old_count
+                cand.valid = True
+                cand.dirty = False
+            else:
+                cand.clear()
+        return (old_page if old_valid else INVALID_PAGE, old_count, old_dirty)
+
+    def fill_way(self, way: int, page: int, count: int, dirty: bool) -> None:
+        """Directly install ``page`` into a cached way (used by the LRU ablation)."""
+        slot = self.cached[way]
+        slot.page = page
+        slot.count = min(count, self.counter_max)
+        slot.valid = True
+        slot.dirty = dirty
+
+    # ------------------------------------------------------------------ invariants
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if counters or slots are out of range (test hook)."""
+        for slot in self.cached + self.candidates:
+            assert 0 <= slot.count <= self.counter_max, "counter out of range"
+            if not slot.valid:
+                assert slot.page == INVALID_PAGE or slot.count == 0 or True
+        pages = [slot.page for slot in self.cached if slot.valid]
+        assert len(pages) == len(set(pages)), "duplicate page in cached slots"
+
+    @property
+    def storage_bits(self) -> int:
+        """Approximate metadata size in bits (Section 5.1 footnote: ~32 bytes)."""
+        tag_bits = 20
+        counter_bits = max(1, (self.counter_max + 1).bit_length() - 1)
+        cached_bits = self.num_ways * (tag_bits + counter_bits + 2)
+        candidate_bits = self.num_candidates * (tag_bits + counter_bits)
+        return cached_bits + candidate_bits

@@ -1,0 +1,87 @@
+"""Large-page support: DRAM-cache partitioning between 4 KB and 2 MB pages.
+
+Section 4.3: Banshee manages large (2 MB) pages with the same PTE/TLB
+mechanism as regular pages.  The DRAM cache is partitioned into a regular
+portion and a large-page portion (by the OS, at context-switch time or from
+runtime statistics); each page maps to a single memory controller; and the
+large-page partition uses a smaller sampling coefficient and a larger
+replacement threshold because moving a 2 MB page is far more expensive.
+
+``plan_partitions`` computes the static partition used by the simulator from
+``DramCacheConfig.large_page_fraction``.  The paper observes that workloads
+tend to use either almost-only large pages or almost none, so a static split
+per run is representative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.sim.config import DramCacheConfig
+
+
+@dataclass
+class PartitionPlan:
+    """Capacity assigned to one page size."""
+
+    page_size: int
+    capacity_bytes: int
+    ways: int
+    sampling_coefficient: float
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise ValueError("page_size must be positive")
+        if self.capacity_bytes < 0:
+            raise ValueError("capacity_bytes must be non-negative")
+        if self.ways <= 0:
+            raise ValueError("ways must be positive")
+
+    @property
+    def num_pages(self) -> int:
+        """Page frames available in this partition."""
+        return self.capacity_bytes // self.page_size
+
+    @property
+    def num_sets(self) -> int:
+        """Sets in this partition (at least 1 when any capacity is assigned)."""
+        if self.num_pages == 0:
+            return 0
+        return max(1, self.num_pages // self.ways)
+
+
+def plan_partitions(config: DramCacheConfig, capacity_bytes: int) -> List[PartitionPlan]:
+    """Split the DRAM-cache capacity between regular and large pages.
+
+    A fraction of ``large_page_fraction`` of the capacity (rounded down to a
+    whole number of large pages) is given to the 2 MB partition; the rest goes
+    to the 4 KB partition.  Fractions of 0.0 and 1.0 dedicate the whole cache
+    to one page size.
+    """
+    if capacity_bytes <= 0:
+        raise ValueError("capacity_bytes must be positive")
+    large_bytes = int(capacity_bytes * config.large_page_fraction)
+    large_bytes -= large_bytes % config.large_page_size
+    large_bytes = max(0, min(capacity_bytes, large_bytes))
+    small_bytes = capacity_bytes - large_bytes
+
+    plans = [
+        PartitionPlan(
+            page_size=config.page_size,
+            capacity_bytes=small_bytes,
+            ways=config.ways,
+            sampling_coefficient=config.sampling_coefficient,
+        )
+    ]
+    if large_bytes > 0:
+        large_ways = min(config.ways, max(1, large_bytes // config.large_page_size))
+        plans.append(
+            PartitionPlan(
+                page_size=config.large_page_size,
+                capacity_bytes=large_bytes,
+                ways=large_ways,
+                sampling_coefficient=config.large_page_sampling_coefficient,
+            )
+        )
+    return plans

@@ -1,0 +1,6 @@
+"""CPU substrate: trace records and the analytic core timing model."""
+
+from repro.cpu.core import CoreModel
+from repro.cpu.trace import TraceRecord, TraceStats, TraceStream
+
+__all__ = ["CoreModel", "TraceRecord", "TraceStats", "TraceStream"]

@@ -1,0 +1,83 @@
+"""Memory trace representation.
+
+A workload is a set of per-core streams of :class:`TraceRecord` tuples.  Each
+record represents a short run of ``gap`` instructions whose last instruction
+is a memory access to ``addr`` (read or write).  The gap distribution is how
+workload generators control memory intensity (bytes per instruction), and the
+address sequence is how they control spatial and temporal locality.
+
+Records are plain tuples under the hood (``TraceRecord`` is a NamedTuple) so
+that generating and iterating millions of them stays cheap in pure Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, NamedTuple
+
+
+class TraceRecord(NamedTuple):
+    """``gap`` instructions ending in one memory access."""
+
+    gap: int
+    addr: int
+    is_write: bool
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics of a trace (used by tests and workload validation)."""
+
+    records: int = 0
+    instructions: int = 0
+    reads: int = 0
+    writes: int = 0
+    unique_pages: int = 0
+    footprint_bytes: int = 0
+
+    @property
+    def write_fraction(self) -> float:
+        """Fraction of memory accesses that are writes."""
+        total = self.reads + self.writes
+        return self.writes / total if total else 0.0
+
+    @property
+    def accesses_per_kilo_instruction(self) -> float:
+        """Memory accesses per 1000 instructions (memory intensity)."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.records / self.instructions
+
+
+class TraceStream:
+    """An iterator over trace records that tracks summary statistics."""
+
+    def __init__(self, records: Iterable[TraceRecord], page_size: int = 4096) -> None:
+        self._records = iter(records)
+        self.page_size = page_size
+        self.stats = TraceStats()
+        self._pages: set = set()
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return self
+
+    def __next__(self) -> TraceRecord:
+        record = next(self._records)
+        self.stats.records += 1
+        self.stats.instructions += record.gap
+        if record.is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        self._pages.add(record.addr // self.page_size)
+        self.stats.unique_pages = len(self._pages)
+        self.stats.footprint_bytes = self.stats.unique_pages * self.page_size
+        return record
+
+
+def summarize(records: Iterable[TraceRecord], page_size: int = 4096) -> TraceStats:
+    """Consume a record iterable and return its summary statistics."""
+    stream = TraceStream(records, page_size=page_size)
+    for _record in stream:
+        pass
+    return stream.stats

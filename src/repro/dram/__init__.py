@@ -1,0 +1,7 @@
+"""DRAM substrate: timing conversion, channel bandwidth model, devices."""
+
+from repro.dram.channel import DramChannel
+from repro.dram.device import DramAccessResult, DramDevice
+from repro.dram.timing import DramTiming
+
+__all__ = ["DramChannel", "DramDevice", "DramAccessResult", "DramTiming"]

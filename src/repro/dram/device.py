@@ -1,0 +1,92 @@
+"""A DRAM device: a set of channels plus traffic accounting.
+
+Two devices exist in a simulated system — the in-package DRAM (the cache)
+and the off-package DRAM (backing memory).  Addresses are interleaved across
+the device's channels at page granularity, matching the paper's assumption
+that physical addresses map to memory controllers statically at page
+granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.dram.channel import DramChannel
+from repro.dram.timing import DramTiming
+from repro.sim.config import DramConfig
+from repro.sim.stats import TrafficCategory, TrafficStats
+
+
+@dataclass
+class DramAccessResult:
+    """Latency and accounting outcome of one device access."""
+
+    latency: int
+    queue_delay: int
+    num_bytes: int
+    channel_id: int
+
+
+class DramDevice:
+    """One DRAM device (in-package or off-package)."""
+
+    def __init__(
+        self,
+        config: DramConfig,
+        cpu_freq_ghz: float,
+        page_size: int = 4096,
+        row_hit_fraction: float = 0.5,
+    ) -> None:
+        self.config = config
+        self.page_size = page_size
+        self.timing = DramTiming(
+            config.timing,
+            cpu_freq_ghz,
+            latency_scale=config.latency_scale,
+            bandwidth_scale=config.bandwidth_scale,
+        )
+        self.channels: List[DramChannel] = [
+            DramChannel(i, self.timing, row_hit_fraction=row_hit_fraction) for i in range(config.num_channels)
+        ]
+        self.traffic = TrafficStats(config.name)
+
+    @property
+    def name(self) -> str:
+        """Device name ("in-package" or "off-package")."""
+        return self.config.name
+
+    def channel_for(self, addr: int) -> DramChannel:
+        """Channel owning ``addr`` (page-granularity interleaving)."""
+        page = addr // self.page_size
+        return self.channels[page % len(self.channels)]
+
+    def access(
+        self, now: int, addr: int, num_bytes: int, category: TrafficCategory, background: bool = False
+    ) -> DramAccessResult:
+        """Perform one access of ``num_bytes`` at ``addr`` and record its traffic."""
+        channel = self.channel_for(addr)
+        outcome = channel.access(now, num_bytes, row=addr // 8192, background=background)
+        self.traffic.record(category, num_bytes)
+        return DramAccessResult(
+            latency=outcome.latency,
+            queue_delay=outcome.queue_delay,
+            num_bytes=num_bytes,
+            channel_id=channel.channel_id,
+        )
+
+    def record_only(self, num_bytes: int, category: TrafficCategory) -> None:
+        """Record traffic without a timing effect (used for bulk background moves)."""
+        self.traffic.record(category, num_bytes)
+
+    def utilization(self, elapsed_cycles: int) -> float:
+        """Average utilisation across channels."""
+        if not self.channels:
+            return 0.0
+        return sum(channel.utilization(elapsed_cycles) for channel in self.channels) / len(self.channels)
+
+    def reset(self) -> None:
+        """Reset dynamic channel state and traffic counters."""
+        for channel in self.channels:
+            channel.reset()
+        self.traffic = TrafficStats(self.config.name)

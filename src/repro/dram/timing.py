@@ -1,0 +1,72 @@
+"""DRAM timing model.
+
+Converts the DDR-style parameters of :class:`repro.sim.config.DramTimingConfig`
+into CPU-cycle latencies and transfer occupancies.  The model is deliberately
+simple — a fixed device access latency (activate + CAS) plus a transfer time
+proportional to the number of bytes moved — because the paper's evaluation is
+dominated by *bandwidth* (channel occupancy) rather than detailed bank-level
+timing.  Row-buffer behaviour is approximated with a configurable hit
+fraction that removes the activate component for that fraction of accesses.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import DramTimingConfig
+
+
+class DramTiming:
+    """Precomputed CPU-cycle timing for one DRAM technology."""
+
+    def __init__(
+        self,
+        timing: DramTimingConfig,
+        cpu_freq_ghz: float,
+        latency_scale: float = 1.0,
+        bandwidth_scale: float = 1.0,
+    ) -> None:
+        if cpu_freq_ghz <= 0:
+            raise ValueError("cpu_freq_ghz must be positive")
+        self.config = timing
+        self.cpu_freq_ghz = cpu_freq_ghz
+        self.latency_scale = latency_scale
+        self.bandwidth_scale = bandwidth_scale
+
+        dram_cycle_ns = 1000.0 / timing.bus_mhz
+        cpu_cycles_per_dram_cycle = dram_cycle_ns * cpu_freq_ghz
+
+        # Row miss: precharge + activate + CAS.  Row hit: CAS only.
+        self._row_miss_latency = (timing.trp + timing.trcd + timing.tcas) * cpu_cycles_per_dram_cycle
+        self._row_hit_latency = timing.tcas * cpu_cycles_per_dram_cycle
+        self._row_miss_latency *= latency_scale
+        self._row_hit_latency *= latency_scale
+
+        # DDR moves ``bus_width_bits`` per edge, i.e. two transfers per bus cycle.
+        bytes_per_dram_cycle = (timing.bus_width_bits // 8) * 2.0 * bandwidth_scale
+        self._cycles_per_byte = cpu_cycles_per_dram_cycle / bytes_per_dram_cycle
+
+    @property
+    def row_miss_latency_cycles(self) -> int:
+        """Device latency (CPU cycles) for an access that misses the row buffer."""
+        return max(1, int(round(self._row_miss_latency)))
+
+    @property
+    def row_hit_latency_cycles(self) -> int:
+        """Device latency (CPU cycles) for an access that hits the row buffer."""
+        return max(1, int(round(self._row_hit_latency)))
+
+    def transfer_cycles(self, num_bytes: int) -> int:
+        """Channel occupancy (CPU cycles) to move ``num_bytes``.
+
+        Transfers are rounded up to the minimum transfer granularity of the
+        technology (32 B for HBM-class links), which is exactly why a 64 B
+        line plus an 8 B tag costs 96 B on the wire in the paper.
+        """
+        if num_bytes <= 0:
+            return 0
+        granule = self.config.min_transfer_bytes
+        effective = ((num_bytes + granule - 1) // granule) * granule
+        return max(1, int(round(effective * self._cycles_per_byte)))
+
+    def access_latency_cycles(self, row_hit: bool) -> int:
+        """Device latency component for one access."""
+        return self.row_hit_latency_cycles if row_hit else self.row_miss_latency_cycles

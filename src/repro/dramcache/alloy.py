@@ -1,0 +1,150 @@
+"""Alloy Cache baseline (Qureshi & Loh, MICRO 2012) with BEAR optimisations.
+
+Alloy Cache is a direct-mapped, cacheline-granularity DRAM cache that stores
+each line's tag adjacent to its data ("TAD"), so a hit reads tag+data in a
+single DRAM access — 96 bytes on an HBM-style link with a 32 B minimum
+transfer (Table 1).  On a miss the speculative tag+data read is wasted and
+the demand line is fetched from off-package DRAM.
+
+The BEAR additions modelled here, following Section 5.1.1 of the Banshee
+paper:
+
+* *stochastic cache fills* — a missing line is inserted only with probability
+  ``alloy_replacement_probability`` (1.0 for "Alloy 1", 0.1 for "Alloy 0.1");
+* *bandwidth-efficient writeback probe* — an LLC dirty eviction first probes
+  only the tag (32 B) and writes the 64 B line to the DRAM cache only when it
+  is present, otherwise the line goes straight to off-package DRAM.
+
+The paper disables the original Alloy optimisation of issuing the in- and
+off-package accesses in parallel on a miss (it hurts when off-package
+bandwidth is scarce); we follow that and serialise them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dram.device import DramDevice
+from repro.dramcache.base import TAG_ACCESS_BYTES, DramCacheScheme, OsServices
+from repro.memctrl.request import AccessResult, MemRequest
+from repro.sim.config import SystemConfig
+from repro.sim.stats import TrafficCategory
+from repro.util.rng import DeterministicRng
+
+
+class AlloyCache(DramCacheScheme):
+    """Direct-mapped, line-granularity DRAM cache with stochastic fills."""
+
+    name = "alloy"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        in_dram: DramDevice,
+        off_dram: DramDevice,
+        rng: Optional[DeterministicRng] = None,
+        os_services: Optional[OsServices] = None,
+    ) -> None:
+        super().__init__(config, in_dram, off_dram, rng=rng, os_services=os_services)
+        # One tag+data frame per cacheline of in-package capacity.  The TAD
+        # layout stores 8 B of tag next to each 64 B line; we keep the
+        # conventional simplification of ignoring the resulting ~11% capacity
+        # loss (it is identical for Alloy 1 and Alloy 0.1).
+        self.num_frames = config.in_package_dram.capacity_bytes // self.line_size
+        if self.num_frames <= 0:
+            raise ValueError("in-package DRAM too small for even one line")
+        self.fill_probability = config.dram_cache.alloy_replacement_probability
+        self._tags = {}
+        self._dirty = set()
+        self.balancer = None
+        if config.dram_cache.bandwidth_balance:
+            from repro.core.bandwidth_balancer import BandwidthBalancer
+
+            self.balancer = BandwidthBalancer(
+                in_dram, off_dram, target_in_fraction=config.dram_cache.bandwidth_balance_target
+            )
+
+    # ------------------------------------------------------------------ internals
+
+    def _frame_of(self, line: int) -> int:
+        return line % self.num_frames
+
+    def is_resident(self, page: int) -> bool:
+        """Residency of the *line-sized* block whose number is ``page``."""
+        frame = self._frame_of(page)
+        return self._tags.get(frame) == page
+
+    def _line_resident(self, line: int) -> bool:
+        return self._tags.get(self._frame_of(line)) == line
+
+    # ------------------------------------------------------------------ access
+
+    def access(self, now: int, request: MemRequest, mc_id: int) -> AccessResult:
+        line = request.line
+        line_addr = line * self.line_size
+        if request.is_writeback:
+            return self._writeback(now, line, line_addr)
+
+        frame = self._frame_of(line)
+        resident = self._tags.get(frame) == line
+
+        if resident:
+            served_by = "in-package"
+            if (
+                self.balancer is not None
+                and not request.is_write
+                and frame not in self._dirty
+                and self.balancer.should_redirect(self.rng.random())
+            ):
+                # Bandwidth balancing (Section 5.4.2): serve this clean hit
+                # from off-package DRAM to relieve the in-package channels.
+                latency = self.read_off(now, line_addr, self.line_size, TrafficCategory.HIT_DATA)
+                served_by = "off-package"
+            else:
+                # One TAD read returns tag + data: 96 B on the wire.
+                latency = self.read_in(now, line_addr, self.line_size, TrafficCategory.HIT_DATA)
+                self.background_in(now, line_addr, TAG_ACCESS_BYTES, TrafficCategory.TAG)
+            if request.is_write:
+                self._dirty.add(frame)
+            self.record_hit(True)
+            return AccessResult(latency=latency, dram_cache_hit=True, served_by=served_by)
+
+        # Miss: the speculative TAD read is wasted, then fetch from off-package.
+        spec_latency = self.read_in(now, line_addr, self.line_size, TrafficCategory.MISS_DATA)
+        self.background_in(now, line_addr, TAG_ACCESS_BYTES, TrafficCategory.TAG)
+        off_latency = self.read_off(now + spec_latency, line_addr, self.line_size, TrafficCategory.MISS_DATA)
+        latency = spec_latency + off_latency
+        self.record_hit(False)
+
+        if self.rng.chance(self.fill_probability):
+            self._fill(now + latency, frame, line, line_addr, request.is_write)
+        return AccessResult(latency=latency, dram_cache_hit=False, served_by="off-package")
+
+    def _fill(self, now: int, frame: int, line: int, line_addr: int, dirty: bool) -> None:
+        victim = self._tags.get(frame)
+        if victim is not None and frame in self._dirty:
+            # The evicted line is dirty: it must be written to off-package DRAM.
+            victim_addr = victim * self.line_size
+            self.background_in(now, victim_addr, self.line_size, TrafficCategory.REPLACEMENT)
+            self.background_off(now, victim_addr, self.line_size, TrafficCategory.WRITEBACK)
+            self.stats.inc("dirty_victim_writebacks")
+        self._dirty.discard(frame)
+        self._tags[frame] = line
+        if dirty:
+            self._dirty.add(frame)
+        # Fill writes the 64 B line and its tag into the TAD frame.
+        self.background_in(now, line_addr, self.line_size, TrafficCategory.REPLACEMENT)
+        self.background_in(now, line_addr, TAG_ACCESS_BYTES, TrafficCategory.REPLACEMENT)
+        self.stats.inc("fills")
+
+    def _writeback(self, now: int, line: int, line_addr: int) -> AccessResult:
+        # BEAR writeback probe: read only the tag first.
+        self.background_in(now, line_addr, TAG_ACCESS_BYTES, TrafficCategory.TAG)
+        if self._line_resident(line):
+            self.background_in(now, line_addr, self.line_size, TrafficCategory.WRITEBACK)
+            self._dirty.add(self._frame_of(line))
+            self.stats.inc("writeback_hits")
+            return AccessResult(latency=0, dram_cache_hit=True, served_by="in-package")
+        self.background_off(now, line_addr, self.line_size, TrafficCategory.WRITEBACK)
+        self.stats.inc("writeback_misses")
+        return AccessResult(latency=0, dram_cache_hit=False, served_by="off-package")

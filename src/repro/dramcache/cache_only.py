@@ -1,0 +1,31 @@
+"""The CacheOnly baseline: an in-package DRAM of infinite capacity.
+
+This is the upper bound used in Figure 4.  Note the paper's observation that
+CacheOnly is *not* always the best configuration: it has no off-package
+DRAM, so its total bandwidth is lower than a scheme that can also stream from
+off-package memory (Section 5.2) — the same effect reproduces here because
+all traffic is forced onto the in-package channels.
+"""
+
+from __future__ import annotations
+
+from repro.dramcache.base import DramCacheScheme
+from repro.memctrl.request import AccessResult, MemRequest
+from repro.sim.stats import TrafficCategory
+
+
+class CacheOnly(DramCacheScheme):
+    """Every LLC miss and writeback hits in an infinitely large in-package DRAM."""
+
+    name = "cacheonly"
+
+    def access(self, now: int, request: MemRequest, mc_id: int) -> AccessResult:
+        if request.is_writeback:
+            self.background_in(now, request.addr, self.line_size, TrafficCategory.WRITEBACK)
+            return AccessResult(latency=0, dram_cache_hit=None, served_by="in-package")
+        latency = self.read_in(now, request.addr, self.line_size, TrafficCategory.HIT_DATA)
+        self.record_hit(True)
+        return AccessResult(latency=latency, dram_cache_hit=True, served_by="in-package")
+
+    def is_resident(self, page: int) -> bool:
+        return True

@@ -1,0 +1,92 @@
+"""Footprint prediction for page-granularity DRAM caches.
+
+Unison Cache and TDC fetch a whole page on every DRAM-cache miss, which
+wastes bandwidth when only a few lines of the page are touched before
+eviction ("over-fetching").  The footprint cache idea (Jevdjic et al.,
+Jang et al.) predicts which lines of a page will be used and fetches only
+those.  The paper models a *perfect* footprint predictor for Unison and TDC:
+it profiles the average number of blocks touched per page fill and charges
+that amount of replacement traffic, managed at 4-line granularity.
+
+:class:`FootprintPredictor` reproduces that methodology online: it tracks
+which lines of each resident page are actually touched, and the footprint
+charged for a fill is the running average of the touched-line counts observed
+at evictions (rounded up to the footprint granularity).  With enough
+evictions this converges to exactly the per-workload average the paper uses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.sim.config import CACHELINE_SIZE
+
+
+class FootprintPredictor:
+    """Tracks per-page touched lines and predicts fill footprints."""
+
+    def __init__(self, page_size: int, granularity_lines: int = 4) -> None:
+        if page_size <= 0 or page_size % CACHELINE_SIZE != 0:
+            raise ValueError("page_size must be a positive multiple of the cacheline size")
+        if granularity_lines <= 0:
+            raise ValueError("granularity_lines must be positive")
+        self.page_size = page_size
+        self.lines_per_page = page_size // CACHELINE_SIZE
+        self.granularity_lines = granularity_lines
+        self._touched: Dict[int, Set[int]] = {}
+        self._observed_fills = 0
+        self._observed_lines = 0
+
+    # ------------------------------------------------------------------ tracking
+
+    def on_fill(self, page: int) -> None:
+        """A page was filled into the DRAM cache; start tracking its footprint."""
+        self._touched[page] = set()
+
+    def on_access(self, page: int, addr: int) -> None:
+        """A resident page was accessed at ``addr``."""
+        touched = self._touched.get(page)
+        if touched is not None:
+            touched.add((addr % self.page_size) // CACHELINE_SIZE)
+
+    def on_evict(self, page: int) -> int:
+        """A page was evicted; fold its observed footprint into the average.
+
+        Returns the number of lines that were actually touched during this
+        residency (useful for dirty-writeback sizing).
+        """
+        touched = self._touched.pop(page, None)
+        lines = len(touched) if touched else 0
+        self._observed_fills += 1
+        self._observed_lines += max(1, lines)
+        return max(1, lines)
+
+    def touched_lines(self, page: int) -> int:
+        """Lines touched so far during the current residency of ``page``."""
+        touched = self._touched.get(page)
+        return len(touched) if touched else 0
+
+    # ------------------------------------------------------------------ prediction
+
+    @property
+    def average_footprint_lines(self) -> float:
+        """Average observed footprint, in lines, rounded up to the granularity."""
+        if self._observed_fills == 0:
+            # Before any eviction has been observed, be conservative and
+            # predict the full page (this is what a cold predictor would do).
+            return float(self.lines_per_page)
+        avg = self._observed_lines / self._observed_fills
+        granule = self.granularity_lines
+        rounded = ((int(avg) + granule - 1) // granule) * granule
+        return float(min(self.lines_per_page, max(granule, rounded)))
+
+    def predicted_fill_bytes(self) -> int:
+        """Bytes of data a fill is charged under perfect footprint prediction."""
+        return int(self.average_footprint_lines) * CACHELINE_SIZE
+
+    def writeback_bytes(self, page: int) -> int:
+        """Bytes written back when evicting a dirty page (its touched lines)."""
+        lines = max(1, self.touched_lines(page))
+        granule = self.granularity_lines
+        rounded = ((lines + granule - 1) // granule) * granule
+        return min(self.lines_per_page, rounded) * CACHELINE_SIZE

@@ -1,0 +1,114 @@
+"""Heterogeneous Memory Architecture (HMA) baseline (Meswani et al., HPCA 2015).
+
+HMA manages the in-package DRAM entirely in software: periodically (every
+100 ms to 1 s) the OS ranks all pages by access count, moves the hottest ones
+into the in-package DRAM and the cold ones out, updates every PTE, flushes
+all TLBs (coherence) and scrubs the remapped pages from the on-chip caches
+(address consistency).  Between intervals the mapping is fixed, so the common
+path has no tag or metadata traffic at all — but the scheme cannot adapt to
+fine-grained temporal locality and every remap interval freezes the system.
+
+HMA is part of the design-space discussion (Table 1) rather than the main
+evaluation figures; it is implemented here for completeness and used by the
+Table 1 behaviour benchmark and the examples.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Set
+
+from repro.dram.device import DramDevice
+from repro.dramcache.base import DramCacheScheme, OsServices
+from repro.memctrl.request import AccessResult, MemRequest
+from repro.sim.config import SystemConfig
+from repro.sim.stats import TrafficCategory
+from repro.util.rng import DeterministicRng
+from repro.util.units import cycles_from_ms, cycles_from_us
+
+
+class HmaCache(DramCacheScheme):
+    """Software-managed, interval-based hot-page migration."""
+
+    name = "hma"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        in_dram: DramDevice,
+        off_dram: DramDevice,
+        rng: Optional[DeterministicRng] = None,
+        os_services: Optional[OsServices] = None,
+    ) -> None:
+        super().__init__(config, in_dram, off_dram, rng=rng, os_services=os_services)
+        self.capacity_pages = config.in_package_dram.capacity_bytes // self.page_size
+        self.interval_cycles = cycles_from_ms(config.dram_cache.hma_interval_ms, config.core.freq_ghz)
+        self.remap_cost_cycles = cycles_from_us(config.dram_cache.hma_remap_cost_us, config.core.freq_ghz)
+        self._resident: Set[int] = set()
+        self._dirty: Set[int] = set()
+        self._epoch_counts: Dict[int, int] = defaultdict(int)
+        self._next_remap = self.interval_cycles
+
+    def is_resident(self, page: int) -> bool:
+        return page in self._resident
+
+    # ------------------------------------------------------------------ access
+
+    def access(self, now: int, request: MemRequest, mc_id: int) -> AccessResult:
+        self.notify_cycle(now)
+        page = request.addr // self.page_size
+        if request.is_writeback:
+            if page in self._resident:
+                self._dirty.add(page)
+                self.background_in(now, request.addr, self.line_size, TrafficCategory.WRITEBACK)
+                return AccessResult(latency=0, dram_cache_hit=True, served_by="in-package")
+            self.background_off(now, request.addr, self.line_size, TrafficCategory.WRITEBACK)
+            return AccessResult(latency=0, dram_cache_hit=False, served_by="off-package")
+
+        self._epoch_counts[page] += 1
+        if page in self._resident:
+            latency = self.read_in(now, request.addr, self.line_size, TrafficCategory.HIT_DATA)
+            if request.is_write:
+                self._dirty.add(page)
+            self.record_hit(True)
+            return AccessResult(latency=latency, dram_cache_hit=True, served_by="in-package")
+
+        latency = self.read_off(now, request.addr, self.line_size, TrafficCategory.HIT_DATA)
+        self.record_hit(False)
+        return AccessResult(latency=latency, dram_cache_hit=False, served_by="off-package")
+
+    # ------------------------------------------------------------------ periodic remap
+
+    def notify_cycle(self, now: int) -> None:
+        """Run the OS hot-page migration once per interval."""
+        if now < self._next_remap:
+            return
+        self._next_remap = now + self.interval_cycles
+        self._remap(now)
+
+    def _remap(self, now: int) -> None:
+        ranked = sorted(self._epoch_counts.items(), key=lambda item: item[1], reverse=True)
+        target = {page for page, _count in ranked[: self.capacity_pages]}
+        incoming = target - self._resident
+        outgoing = self._resident - target
+
+        for page in outgoing:
+            page_addr = page * self.page_size
+            if page in self._dirty:
+                self.in_dram.record_only(self.page_size, TrafficCategory.REPLACEMENT)
+                self.off_dram.record_only(self.page_size, TrafficCategory.WRITEBACK)
+            self._dirty.discard(page)
+            # Address consistency: the remapped page must be scrubbed from the
+            # on-chip caches because HMA changes physical addresses.
+            self.os.flush_page_from_caches(page_addr, self.page_size)
+        for page in incoming:
+            self.off_dram.record_only(self.page_size, TrafficCategory.REPLACEMENT)
+            self.in_dram.record_only(self.page_size, TrafficCategory.REPLACEMENT)
+
+        self._resident = target
+        self._epoch_counts = defaultdict(int)
+        self.stats.inc("remap_intervals")
+        self.stats.inc("pages_migrated", len(incoming) + len(outgoing))
+        # The OS routine stops every program while pages are moved.
+        if incoming or outgoing:
+            self.os.stall_all_cores(self.remap_cost_cycles)

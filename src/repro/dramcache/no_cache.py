@@ -1,0 +1,24 @@
+"""The NoCache baseline: the system only has off-package DRAM.
+
+Speedups in Figure 4 of the paper are normalised to this configuration.
+"""
+
+from __future__ import annotations
+
+from repro.dramcache.base import DramCacheScheme
+from repro.memctrl.request import AccessResult, MemRequest
+from repro.sim.stats import TrafficCategory
+
+
+class NoCache(DramCacheScheme):
+    """Every LLC miss and writeback is served by off-package DRAM."""
+
+    name = "nocache"
+
+    def access(self, now: int, request: MemRequest, mc_id: int) -> AccessResult:
+        if request.is_writeback:
+            self.background_off(now, request.addr, self.line_size, TrafficCategory.WRITEBACK)
+            return AccessResult(latency=0, dram_cache_hit=None, served_by="off-package")
+        latency = self.read_off(now, request.addr, self.line_size, TrafficCategory.HIT_DATA)
+        self.record_hit(False)
+        return AccessResult(latency=latency, dram_cache_hit=False, served_by="off-package")

@@ -1,0 +1,109 @@
+"""Tagless DRAM Cache (TDC) baseline (Lee et al., ISCA 2015), idealised.
+
+TDC tracks DRAM-cache contents through the page tables and TLBs (like
+Banshee), so there is no tag traffic at all: a hit moves exactly the 64 B
+demand line, a miss fetches it from off-package DRAM, both with ~1x latency.
+The cache is fully associative with FIFO replacement, and replacement happens
+on every miss.
+
+Following Section 5.1.1 we model the *idealised* TDC: its hardware TLB
+coherence mechanism is free, the address-consistency problem is ignored, and
+it gets the same perfect footprint predictor as Unison Cache.  Even this
+idealisation loses to Banshee because it still pays full replacement traffic
+on every miss and FIFO can evict hot pages.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.dram.device import DramDevice
+from repro.dramcache.base import DramCacheScheme, OsServices
+from repro.dramcache.footprint import FootprintPredictor
+from repro.memctrl.request import AccessResult, MemRequest
+from repro.sim.config import SystemConfig
+from repro.sim.stats import TrafficCategory
+from repro.util.rng import DeterministicRng
+
+
+class TaglessDramCache(DramCacheScheme):
+    """Fully-associative, FIFO, PTE/TLB-mapped page-granularity DRAM cache."""
+
+    name = "tdc"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        in_dram: DramDevice,
+        off_dram: DramDevice,
+        rng: Optional[DeterministicRng] = None,
+        os_services: Optional[OsServices] = None,
+    ) -> None:
+        super().__init__(config, in_dram, off_dram, rng=rng, os_services=os_services)
+        self.capacity_pages = config.in_package_dram.capacity_bytes // self.page_size
+        if self.capacity_pages <= 0:
+            raise ValueError("in-package DRAM too small for a single page")
+        # OrderedDict doubles as the FIFO queue: insertion order is eviction order.
+        self._resident: "OrderedDict[int, bool]" = OrderedDict()
+        self.footprint = FootprintPredictor(
+            self.page_size, granularity_lines=config.dram_cache.footprint_granularity_lines
+        )
+
+    def is_resident(self, page: int) -> bool:
+        return page in self._resident
+
+    # ------------------------------------------------------------------ access
+
+    def access(self, now: int, request: MemRequest, mc_id: int) -> AccessResult:
+        page = request.addr // self.page_size
+        if request.is_writeback:
+            return self._writeback(now, request, page)
+
+        if page in self._resident:
+            latency = self.read_in(now, request.addr, self.line_size, TrafficCategory.HIT_DATA)
+            if request.is_write:
+                self._resident[page] = True
+            self.footprint.on_access(page, request.addr)
+            self.record_hit(True)
+            return AccessResult(latency=latency, dram_cache_hit=True, served_by="in-package")
+
+        # Miss: the mapping was already known from the TLB, so the demand line
+        # comes straight from off-package DRAM with no DRAM-cache probe.
+        latency = self.read_off(now, request.addr, self.line_size, TrafficCategory.MISS_DATA)
+        self.record_hit(False)
+        self._fill(now + latency, request, page)
+        return AccessResult(latency=latency, dram_cache_hit=False, served_by="off-package")
+
+    def _fill(self, now: int, request: MemRequest, page: int) -> None:
+        """Replacement on every miss with FIFO eviction."""
+        if len(self._resident) >= self.capacity_pages:
+            victim_page, victim_dirty = self._resident.popitem(last=False)
+            victim_addr = victim_page * self.page_size
+            if victim_dirty:
+                dirty_bytes = self.footprint.writeback_bytes(victim_page)
+                self.background_in(now, victim_addr, dirty_bytes, TrafficCategory.REPLACEMENT)
+                self.background_off(now, victim_addr, dirty_bytes, TrafficCategory.WRITEBACK)
+                self.stats.inc("dirty_page_evictions")
+            self.footprint.on_evict(victim_page)
+            self.stats.inc("page_evictions")
+
+        self._resident[page] = request.is_write
+        self.footprint.on_fill(page)
+        self.footprint.on_access(page, request.addr)
+        fill_bytes = self.footprint.predicted_fill_bytes()
+        page_addr = page * self.page_size
+        self.background_off(now, page_addr, fill_bytes, TrafficCategory.REPLACEMENT)
+        self.background_in(now, page_addr, fill_bytes, TrafficCategory.REPLACEMENT)
+        self.stats.inc("page_fills")
+        self.stats.inc("fill_bytes", fill_bytes)
+
+    def _writeback(self, now: int, request: MemRequest, page: int) -> AccessResult:
+        # The mapping is known from the PTE/TLB extension, so no tag probe.
+        if page in self._resident:
+            self._resident[page] = True
+            self.background_in(now, request.addr, self.line_size, TrafficCategory.WRITEBACK)
+            self.footprint.on_access(page, request.addr)
+            return AccessResult(latency=0, dram_cache_hit=True, served_by="in-package")
+        self.background_off(now, request.addr, self.line_size, TrafficCategory.WRITEBACK)
+        return AccessResult(latency=0, dram_cache_hit=False, served_by="off-package")

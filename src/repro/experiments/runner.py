@@ -1,0 +1,166 @@
+"""Simulation runner with result caching.
+
+Several figures of the paper share the same underlying simulations (the
+speedup, in-package-traffic and off-package-traffic figures all come from one
+workload x scheme matrix).  :class:`ResultCache` memoises results within one
+process so that the benchmark modules can each rebuild their figure without
+re-running shared simulations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.sim.config import SystemConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import SimulationResults
+from repro.sim.system import System
+from repro.workloads.base import Workload
+from repro.workloads.registry import get_workload
+
+
+def _config_key(config: SystemConfig) -> str:
+    return json.dumps(config.to_dict(), sort_keys=True, default=str)
+
+
+class ResultCache:
+    """Memoises simulation results keyed by (config, workload, trace length)."""
+
+    def __init__(self) -> None:
+        self._results: Dict[str, SimulationResults] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, config: SystemConfig, workload_name: str, records_per_core: int, scale: float, seed: int) -> str:
+        return "|".join(
+            [_config_key(config), workload_name, str(records_per_core), str(scale), str(seed)]
+        )
+
+    def get(self, key: str) -> Optional[SimulationResults]:
+        result = self._results.get(key)
+        if result is not None:
+            self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResults) -> None:
+        self.misses += 1
+        self._results[key] = result
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+
+#: Process-wide cache shared by the benchmark modules.
+GLOBAL_CACHE = ResultCache()
+
+
+#: Fraction of each core's trace used to warm the caches before measurement.
+DEFAULT_WARMUP_FRACTION = 0.5
+
+
+def run_simulation(
+    config: SystemConfig,
+    workload_name: Optional[str] = None,
+    workload: Optional[Workload] = None,
+    records_per_core: int = 20_000,
+    scale: float = 1.0,
+    seed: int = 1,
+    cache: Optional[ResultCache] = None,
+    page_size: Optional[int] = None,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+) -> SimulationResults:
+    """Run one simulation (optionally memoised through ``cache``).
+
+    Either ``workload_name`` (resolved through the registry) or a prebuilt
+    ``workload`` object must be given.  Prebuilt workloads are never cached,
+    because their identity cannot be captured in the cache key.
+
+    ``warmup_fraction`` of each core's records is executed before the
+    measurement window opens (statistics cover only the remainder).
+    """
+    if (workload_name is None) == (workload is None):
+        raise ValueError("provide exactly one of workload_name or workload")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError("warmup_fraction must be in [0, 1)")
+    warmup_records = int(records_per_core * warmup_fraction)
+
+    if workload is not None:
+        system = System(config, workload)
+        return SimulationEngine(system).run(records_per_core, warmup_records_per_core=warmup_records)
+
+    effective_page_size = page_size if page_size is not None else config.dram_cache.page_size
+    key = None
+    if cache is not None:
+        key = cache.key(
+            config,
+            f"{workload_name}@{effective_page_size}@{warmup_fraction}",
+            records_per_core,
+            scale,
+            seed,
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+
+    built = get_workload(
+        workload_name, config.num_cores, scale=scale, seed=seed, page_size=effective_page_size
+    )
+    system = System(config, built)
+    result = SimulationEngine(system).run(records_per_core, warmup_records_per_core=warmup_records)
+    if cache is not None and key is not None:
+        cache.put(key, result)
+    return result
+
+
+def run_matrix(
+    schemes: Iterable[Tuple[str, SystemConfig]],
+    workload_names: Iterable[str],
+    records_per_core: int,
+    scale: float = 1.0,
+    seed: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> Dict[Tuple[str, str], SimulationResults]:
+    """Run a full (scheme x workload) matrix.
+
+    ``schemes`` is an iterable of (label, config) pairs; the label is used as
+    the result key so the same scheme can appear twice with different
+    parameters (Alloy 1 vs Alloy 0.1).
+    """
+    cache = cache if cache is not None else GLOBAL_CACHE
+    results: Dict[Tuple[str, str], SimulationResults] = {}
+    for workload_name in workload_names:
+        for label, config in schemes:
+            results[(workload_name, label)] = run_simulation(
+                config,
+                workload_name=workload_name,
+                records_per_core=records_per_core,
+                scale=scale,
+                seed=seed,
+                cache=cache,
+            )
+    return results
+
+
+def baseline_results(
+    workload_names: Iterable[str],
+    records_per_core: int,
+    config_factory,
+    scale: float = 1.0,
+    seed: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> Dict[str, SimulationResults]:
+    """NoCache results per workload (the normalisation baseline of Figure 4)."""
+    cache = cache if cache is not None else GLOBAL_CACHE
+    baseline: Dict[str, SimulationResults] = {}
+    for workload_name in workload_names:
+        config = config_factory("nocache")
+        baseline[workload_name] = run_simulation(
+            config,
+            workload_name=workload_name,
+            records_per_core=records_per_core,
+            scale=scale,
+            seed=seed,
+            cache=cache,
+        )
+    return baseline

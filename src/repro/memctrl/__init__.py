@@ -1,0 +1,6 @@
+"""Memory-controller layer: request types and controller routing."""
+
+from repro.memctrl.controller import MemoryControllerSet
+from repro.memctrl.request import AccessResult, MappingInfo, MemRequest
+
+__all__ = ["MemoryControllerSet", "AccessResult", "MappingInfo", "MemRequest"]

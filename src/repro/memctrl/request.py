@@ -1,0 +1,67 @@
+"""Memory request and result types exchanged between the LLC and the MCs.
+
+Every L1 miss in Banshee carries the PTE/TLB mapping bits (cached + way)
+down the hierarchy (Section 3.2).  In this simulator only requests that
+actually reach a memory controller matter, so :class:`MemRequest` carries the
+mapping bits the TLB held when the access was issued.  LLC dirty evictions
+(writebacks) do not carry mapping information — that is exactly the case the
+tag buffer's clean entries and the DRAM-cache tag probe exist for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class MappingInfo:
+    """Banshee PTE/TLB extension bits carried by a request."""
+
+    cached: bool = False
+    way: int = 0
+
+    def as_tuple(self) -> tuple:
+        """The (cached, way) pair."""
+        return (self.cached, self.way)
+
+
+@dataclass
+class MemRequest:
+    """One request arriving at a memory controller."""
+
+    addr: int
+    is_write: bool
+    core_id: int
+    is_writeback: bool = False
+    mapping: Optional[MappingInfo] = None
+    page_size: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.addr < 0:
+            raise ValueError("address must be non-negative")
+        if self.page_size <= 0:
+            raise ValueError("page_size must be positive")
+
+    @property
+    def page(self) -> int:
+        """Page number of the request at its page size."""
+        return self.addr // self.page_size
+
+    @property
+    def line(self) -> int:
+        """64-byte line number of the request."""
+        return self.addr // 64
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one memory-controller access."""
+
+    latency: int
+    dram_cache_hit: Optional[bool] = None
+    served_by: str = "off-package"
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")

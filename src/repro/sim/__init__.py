@@ -1,0 +1,31 @@
+"""Simulation engine: configuration, statistics, system assembly and results."""
+
+from repro.sim.config import (
+    CacheLevelConfig,
+    CoreConfig,
+    DramCacheConfig,
+    DramConfig,
+    DramTimingConfig,
+    SystemConfig,
+    TlbConfig,
+)
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import SimulationResults
+from repro.sim.stats import StatsSet, TrafficCategory, TrafficStats
+from repro.sim.system import System
+
+__all__ = [
+    "CacheLevelConfig",
+    "CoreConfig",
+    "DramCacheConfig",
+    "DramConfig",
+    "DramTimingConfig",
+    "SystemConfig",
+    "TlbConfig",
+    "SimulationEngine",
+    "SimulationResults",
+    "StatsSet",
+    "TrafficCategory",
+    "TrafficStats",
+    "System",
+]

@@ -1,0 +1,83 @@
+"""The simulation engine.
+
+The engine drives one :class:`repro.sim.system.System` with the per-core
+trace streams of a workload.  Cores are interleaved in global time order:
+the core with the smallest local clock always executes its next trace record
+first.  This is what makes DRAM channel contention meaningful — a core that
+is stalled on a congested channel falls behind, and the other cores' requests
+arrive at the channels in front of its next one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import Optional
+
+from repro.sim.results import SimulationResults
+from repro.sim.system import System
+
+
+class SimulationEngine:
+    """Trace-driven multicore simulation loop."""
+
+    def __init__(self, system: System) -> None:
+        self.system = system
+        self.records_processed = 0
+
+    def run(
+        self,
+        max_records_per_core: int,
+        max_total_records: Optional[int] = None,
+        warmup_records_per_core: int = 0,
+    ) -> SimulationResults:
+        """Run the simulation and return its results.
+
+        Args:
+            max_records_per_core: trace records to execute on each core
+                (including warmup).  All schemes compared on a workload must
+                use the same value so their instruction counts match.
+            max_total_records: optional global cap (safety valve for tests).
+            warmup_records_per_core: records per core executed before the
+                measurement window starts; statistics are reported for the
+                post-warmup portion only.
+        """
+        if max_records_per_core <= 0:
+            raise ValueError("max_records_per_core must be positive")
+        if not 0 <= warmup_records_per_core < max_records_per_core:
+            if warmup_records_per_core != 0:
+                raise ValueError("warmup_records_per_core must be smaller than max_records_per_core")
+        start_time = time.perf_counter()
+        system = self.system
+        workload = system.workload
+        num_cores = system.config.num_cores
+
+        iterators = [workload.trace(core_id) for core_id in range(num_cores)]
+        remaining = [max_records_per_core] * num_cores
+        heap = [(0.0, core_id) for core_id in range(num_cores)]
+        heapq.heapify(heap)
+
+        measurement_started = warmup_records_per_core <= 0
+        warmup_threshold = num_cores * warmup_records_per_core
+        total_budget = max_total_records if max_total_records is not None else float("inf")
+        while heap and self.records_processed < total_budget:
+            _clock, core_id = heapq.heappop(heap)
+            if remaining[core_id] <= 0:
+                continue
+            try:
+                record = next(iterators[core_id])
+            except StopIteration:
+                remaining[core_id] = 0
+                continue
+            new_clock = system.process_record(core_id, record)
+            remaining[core_id] -= 1
+            self.records_processed += 1
+            if not measurement_started and self.records_processed >= warmup_threshold:
+                system.begin_measurement()
+                measurement_started = True
+            if remaining[core_id] > 0:
+                heapq.heappush(heap, (new_clock, core_id))
+
+        system.finalize()
+        elapsed = time.perf_counter() - start_time
+        return system.collect_results(wall_time_seconds=elapsed)

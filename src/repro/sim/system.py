@@ -1,0 +1,234 @@
+"""System assembly: cores, TLBs, caches, memory controllers, DRAM devices.
+
+:class:`System` wires together every substrate around the configured
+DRAM-cache scheme and exposes a single entry point,
+:meth:`System.process_record`, that the simulation engine drives with trace
+records.  It also implements the :class:`repro.dramcache.base.OsServices`
+callbacks — the software half of Banshee's software/hardware co-design — on
+top of the page table, TLBs and core models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cpu.core import CoreModel
+from repro.cpu.trace import TraceRecord
+from repro.dram.device import DramDevice
+from repro.dramcache.base import OsServices
+from repro.dramcache.factory import create_scheme
+from repro.memctrl.controller import MemoryControllerSet
+from repro.memctrl.request import MappingInfo, MemRequest
+from repro.sim.config import SystemConfig
+from repro.sim.results import SimulationResults
+from repro.util.rng import DeterministicRng
+from repro.util.units import cycles_from_us
+from repro.vm.page_table import PageTable
+from repro.vm.shootdown import ShootdownCostModel
+from repro.vm.tlb import Tlb
+from repro.workloads.base import Workload
+
+
+class _SystemOsServices(OsServices):
+    """The OS-side callbacks used by the DRAM-cache schemes."""
+
+    def __init__(self, system: "System") -> None:
+        self.system = system
+        self.pte_update_batches = 0
+        self.pte_updates = 0
+        self.core_stall_events = 0
+
+    def pte_update_batch(self, initiator_core: int, updates: List[Tuple[int, bool, int]]) -> None:
+        system = self.system
+        for page, cached, way in updates:
+            system.page_table.apply_mapping(page, cached, way)
+        system.page_table.record_update_batch()
+        self.pte_update_batches += 1
+        self.pte_updates += len(updates)
+
+        # Software routine cost on the initiating core, then a system-wide
+        # TLB shootdown (Section 3.4 / Table 3).
+        initiator = initiator_core % system.config.num_cores
+        system.cores[initiator].add_stall(system.pte_update_cost_cycles)
+        shootdown = system.shootdown_model.shootdown(initiator)
+        for core_id, cycles in enumerate(shootdown.per_core_cycles):
+            system.cores[core_id].add_stall(cycles)
+        for tlb in system.tlbs:
+            tlb.invalidate_all()
+
+    def stall_all_cores(self, cycles: int) -> None:
+        self.core_stall_events += 1
+        for core in self.system.cores:
+            core.add_stall(cycles)
+
+    def flush_page_from_caches(self, page_addr: int, page_size: int) -> int:
+        dirty = self.system.hierarchy.flush_page(page_addr, page_size)
+        return len(dirty)
+
+
+class System:
+    """A fully assembled simulated system for one workload and one scheme."""
+
+    def __init__(self, config: SystemConfig, workload: Workload) -> None:
+        self.config = config
+        self.workload = workload
+        self.rng = DeterministicRng(config.seed)
+        self.page_size = workload.page_size
+
+        self.hierarchy = CacheHierarchy(config, rng=self.rng.fork(1))
+        self.page_table = PageTable(page_size=self.page_size)
+        self.tlbs = [Tlb(core_id, config.tlb) for core_id in range(config.num_cores)]
+        self.cores = [CoreModel(core_id, config.core, mlp=workload.mlp) for core_id in range(config.num_cores)]
+        self.shootdown_model = ShootdownCostModel(
+            num_cores=config.num_cores,
+            freq_ghz=config.core.freq_ghz,
+            initiator_us=config.dram_cache.tlb_shootdown_initiator_us,
+            slave_us=config.dram_cache.tlb_shootdown_slave_us,
+        )
+        self.pte_update_cost_cycles = cycles_from_us(
+            config.dram_cache.tag_buffer_flush_cost_us, config.core.freq_ghz
+        )
+
+        self.in_dram = DramDevice(config.in_package_dram, config.core.freq_ghz, page_size=self.page_size)
+        self.off_dram = DramDevice(config.off_package_dram, config.core.freq_ghz, page_size=self.page_size)
+        self.os_services = _SystemOsServices(self)
+        self.scheme = create_scheme(config, self.in_dram, self.off_dram, rng=self.rng.fork(2))
+        self.scheme.set_os_services(self.os_services)
+        self.controllers = MemoryControllerSet(config, self.scheme)
+
+        self.llc_misses = 0
+        self.llc_writebacks = 0
+        self._baseline = None
+
+    # ------------------------------------------------------------------ per-record processing
+
+    def process_record(self, core_id: int, record: TraceRecord) -> float:
+        """Process one trace record for ``core_id``; returns the new core clock."""
+        core = self.cores[core_id]
+        core.apply_pending_stalls()
+        core.advance_compute(record.gap)
+
+        mapping = self._translate(core_id, record.addr, core)
+        outcome = self.hierarchy.access(core_id, record.addr, record.is_write)
+
+        if outcome.llc_miss:
+            self.llc_misses += 1
+            request = MemRequest(
+                addr=record.addr,
+                is_write=record.is_write,
+                core_id=core_id,
+                mapping=mapping,
+                page_size=self.page_size,
+            )
+            result = self.controllers.access(int(core.clock), request)
+            core.advance_memory("memory", result.latency)
+        else:
+            core.advance_memory(outcome.level)
+
+        for writeback in outcome.writebacks:
+            self.llc_writebacks += 1
+            self.controllers.access(
+                int(core.clock),
+                MemRequest(
+                    addr=writeback.addr,
+                    is_write=True,
+                    core_id=core_id,
+                    is_writeback=True,
+                    page_size=self.page_size,
+                ),
+            )
+        self.scheme.notify_cycle(int(core.clock))
+        return core.clock
+
+    def _translate(self, core_id: int, addr: int, core: CoreModel) -> MappingInfo:
+        """TLB lookup (with page-walk cost on a miss); returns the carried mapping."""
+        tlb = self.tlbs[core_id]
+        vpn = addr // self.page_size
+        entry = tlb.lookup(vpn)
+        if entry is None:
+            pte = self.page_table.translate(addr)
+            entry = tlb.fill(pte)
+            core.clock += self.config.tlb.page_walk_cycles
+        return MappingInfo(cached=entry.cached, way=entry.way)
+
+    # ------------------------------------------------------------------ results
+
+    def finalize(self) -> None:
+        """End-of-run hook (flush outstanding Banshee remaps, etc.)."""
+        now = int(max(core.clock for core in self.cores))
+        self.scheme.finalize(now)
+
+    def begin_measurement(self) -> None:
+        """Snapshot all counters so results cover only the post-warmup phase.
+
+        Warmup lets the DRAM-cache contents reach (an approximation of) steady
+        state before measurement, which matters most for Banshee: its
+        frequency-based policy intentionally caches pages slowly, so a cold
+        start under-reports its hit rate relative to the paper's 100-billion-
+        instruction runs.
+        """
+        self._baseline = {
+            "instructions": sum(core.stats.instructions for core in self.cores),
+            "accesses": sum(core.stats.memory_accesses for core in self.cores),
+            "cycles": max((core.clock for core in self.cores), default=0.0),
+            "per_core_cycles": [core.clock for core in self.cores],
+            "hits": self.scheme.stats.get("dram_cache_hits"),
+            "misses": self.scheme.stats.get("dram_cache_misses"),
+            "llc_misses": self.llc_misses,
+            "llc_writebacks": self.llc_writebacks,
+            "tlb_misses": sum(tlb.misses for tlb in self.tlbs),
+            "in_traffic": dict(self.in_dram.traffic.breakdown()),
+            "off_traffic": dict(self.off_dram.traffic.breakdown()),
+            "os_stall": sum(core.stats.os_stall_cycles for core in self.cores),
+        }
+
+    def collect_results(self, wall_time_seconds: float = 0.0) -> SimulationResults:
+        """Assemble a :class:`SimulationResults` snapshot (post-warmup deltas)."""
+        base = self._baseline or {
+            "instructions": 0,
+            "accesses": 0,
+            "cycles": 0.0,
+            "per_core_cycles": [0.0] * self.config.num_cores,
+            "hits": 0,
+            "misses": 0,
+            "llc_misses": 0,
+            "llc_writebacks": 0,
+            "tlb_misses": 0,
+            "in_traffic": {},
+            "off_traffic": {},
+            "os_stall": 0.0,
+        }
+        instructions = sum(core.stats.instructions for core in self.cores) - base["instructions"]
+        accesses = sum(core.stats.memory_accesses for core in self.cores) - base["accesses"]
+        cycles = max((core.clock for core in self.cores), default=0.0) - base["cycles"]
+        in_traffic = {
+            key: value - base["in_traffic"].get(key, 0)
+            for key, value in self.in_dram.traffic.breakdown().items()
+        }
+        off_traffic = {
+            key: value - base["off_traffic"].get(key, 0)
+            for key, value in self.off_dram.traffic.breakdown().items()
+        }
+        return SimulationResults(
+            workload=self.workload.name,
+            scheme=self.scheme.name,
+            num_cores=self.config.num_cores,
+            instructions=instructions,
+            memory_accesses=accesses,
+            cycles=cycles,
+            per_core_cycles=[
+                core.clock - prev for core, prev in zip(self.cores, base["per_core_cycles"])
+            ],
+            dram_cache_hits=int(self.scheme.stats.get("dram_cache_hits") - base["hits"]),
+            dram_cache_misses=int(self.scheme.stats.get("dram_cache_misses") - base["misses"]),
+            llc_misses=self.llc_misses - base["llc_misses"],
+            llc_writebacks=self.llc_writebacks - base["llc_writebacks"],
+            tlb_misses=sum(tlb.misses for tlb in self.tlbs) - base["tlb_misses"],
+            in_traffic_bytes=in_traffic,
+            off_traffic_bytes=off_traffic,
+            scheme_stats=self.scheme.stats.as_dict(),
+            hierarchy_stats=self.hierarchy.stats(),
+            os_stall_cycles=sum(core.stats.os_stall_cycles for core in self.cores) - base["os_stall"],
+            wall_time_seconds=wall_time_seconds,
+        )

@@ -1,0 +1,64 @@
+"""Deterministic random number generation.
+
+Every stochastic component of the simulator (sampling decisions, stochastic
+replacement, workload generation) draws from a :class:`DeterministicRng`
+seeded from the system configuration, so simulations are reproducible
+run-to-run and results in EXPERIMENTS.md can be regenerated exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class DeterministicRng:
+    """A thin wrapper over :class:`numpy.random.Generator`.
+
+    The wrapper exists so that (a) all call sites share the same seeding
+    discipline, (b) child streams can be forked deterministically per
+    component, and (c) the hot-path helpers (:meth:`chance`) stay cheap.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self._seed = int(seed)
+        self._gen = np.random.default_rng(self._seed)
+
+    @property
+    def seed(self) -> int:
+        """Seed this generator was created with."""
+        return self._seed
+
+    def fork(self, salt: int) -> "DeterministicRng":
+        """Create an independent child stream identified by ``salt``."""
+        return DeterministicRng((self._seed * 1_000_003 + int(salt)) & 0x7FFFFFFF)
+
+    def random(self) -> float:
+        """Uniform float in [0, 1)."""
+        return float(self._gen.random())
+
+    def chance(self, probability: float) -> bool:
+        """Return True with the given probability."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self._gen.random() < probability
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high)."""
+        return int(self._gen.integers(low, high))
+
+    def choice(self, sequence):
+        """Pick one element of a non-empty sequence uniformly."""
+        if len(sequence) == 0:
+            raise ValueError("cannot choose from an empty sequence")
+        return sequence[self.randint(0, len(sequence))]
+
+    def shuffle(self, array) -> None:
+        """Shuffle a numpy array or list in place."""
+        self._gen.shuffle(array)
+
+    @property
+    def generator(self) -> np.random.Generator:
+        """Access the underlying numpy generator for bulk draws."""
+        return self._gen

@@ -1,0 +1,38 @@
+"""Reverse mapping: physical frame → set of virtual pages mapping it.
+
+Banshee's PTE-update routine (Section 3.4) relies on the OS reverse-mapping
+mechanism (as Linux's rmap does) rather than a hardware inverted page table,
+because reverse mapping handles page aliasing — multiple VPNs mapping one
+physical frame — which an inverted page table cannot.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Set
+
+
+class ReverseMapping:
+    """Physical-to-virtual reverse map."""
+
+    def __init__(self) -> None:
+        self._map: Dict[int, Set[int]] = defaultdict(set)
+
+    def add(self, ppn: int, vpn: int) -> None:
+        """Record that ``vpn`` maps to physical frame ``ppn``."""
+        self._map[ppn].add(vpn)
+
+    def remove(self, ppn: int, vpn: int) -> None:
+        """Remove one mapping; silently ignores absent pairs."""
+        self._map.get(ppn, set()).discard(vpn)
+
+    def vpns_for(self, ppn: int) -> Iterable[int]:
+        """All virtual pages currently mapping ``ppn``."""
+        return tuple(self._map.get(ppn, ()))
+
+    def alias_count(self, ppn: int) -> int:
+        """Number of virtual pages sharing ``ppn``."""
+        return len(self._map.get(ppn, ()))
+
+    def __len__(self) -> int:
+        return sum(1 for vpns in self._map.values() if vpns)

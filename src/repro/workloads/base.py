@@ -1,0 +1,75 @@
+"""Workload interface.
+
+A workload describes, for each simulated core, a stream of
+:class:`repro.cpu.trace.TraceRecord` — short instruction runs ending in one
+memory access.  The same workload object always produces the same traces
+(seeded generation), so different DRAM-cache schemes are compared on
+identical instruction and access streams, which is what makes the speedup
+comparisons of Figure 4 meaningful.
+
+Workloads carry two pieces of timing advice for the core model:
+
+* ``mlp`` — how many outstanding LLC misses the workload typically sustains
+  (streaming codes overlap many; pointer chasing overlaps few);
+* ``page_size`` — 4 KB normally, 2 MB for the large-page experiments.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.cpu.trace import TraceRecord
+from repro.util.rng import DeterministicRng
+
+
+class Workload(ABC):
+    """Base class for all workload generators."""
+
+    def __init__(
+        self,
+        name: str,
+        num_cores: int,
+        footprint_bytes: int,
+        mlp: float = 6.0,
+        page_size: int = 4096,
+        seed: int = 1,
+    ) -> None:
+        if num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        if footprint_bytes <= 0:
+            raise ValueError("footprint_bytes must be positive")
+        if mlp < 1.0:
+            raise ValueError("mlp must be >= 1")
+        self.name = name
+        self.num_cores = num_cores
+        self.footprint_bytes = footprint_bytes
+        self.mlp = mlp
+        self.page_size = page_size
+        self.seed = seed
+
+    @abstractmethod
+    def trace(self, core_id: int) -> Iterator[TraceRecord]:
+        """Yield the trace records for ``core_id``."""
+
+    def rng_for_core(self, core_id: int) -> DeterministicRng:
+        """Deterministic RNG stream for one core of this workload."""
+        return DeterministicRng(hash((self.name, self.seed, core_id)) & 0x7FFFFFFF)
+
+    @property
+    def footprint_pages(self) -> int:
+        """Footprint in (4 KB-equivalent) pages."""
+        return self.footprint_bytes // self.page_size
+
+    def describe(self) -> dict:
+        """Human-readable summary used by examples and reports."""
+        return {
+            "name": self.name,
+            "cores": self.num_cores,
+            "footprint_mb": round(self.footprint_bytes / (1 << 20), 1),
+            "page_size": self.page_size,
+            "mlp": self.mlp,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}({self.name!r}, cores={self.num_cores})"

@@ -1,0 +1,30 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dram.device import DramDevice
+from repro.sim.config import SystemConfig
+from repro.util.rng import DeterministicRng
+
+
+@pytest.fixture
+def tiny_config():
+    """A tiny system configuration (Banshee scheme by default)."""
+    return SystemConfig.tiny()
+
+
+@pytest.fixture
+def scheme_env():
+    """Build (config, in_dram, off_dram, rng) for DRAM-cache scheme unit tests."""
+
+    def build(scheme: str = "banshee", **dram_cache_overrides):
+        config = SystemConfig.tiny(scheme=scheme)
+        if dram_cache_overrides:
+            config = config.with_scheme(scheme, **dram_cache_overrides)
+        in_dram = DramDevice(config.in_package_dram, config.core.freq_ghz)
+        off_dram = DramDevice(config.off_package_dram, config.core.freq_ghz)
+        return config, in_dram, off_dram, DeterministicRng(7)
+
+    return build

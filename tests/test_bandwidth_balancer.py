@@ -1,0 +1,41 @@
+"""Unit tests for the BATMAN-style bandwidth balancer."""
+
+from repro.core.bandwidth_balancer import BandwidthBalancer
+from repro.dram.device import DramDevice
+from repro.sim.config import DramConfig
+from repro.sim.stats import TrafficCategory
+
+
+def make_devices():
+    in_dram = DramDevice(DramConfig(name="in", capacity_bytes=1 << 20, num_channels=2), 2.7)
+    off_dram = DramDevice(DramConfig(name="off", capacity_bytes=1 << 30, num_channels=1), 2.7)
+    return in_dram, off_dram
+
+
+def test_no_redirection_when_balanced():
+    in_dram, off_dram = make_devices()
+    balancer = BandwidthBalancer(in_dram, off_dram, target_in_fraction=0.8, window_bytes=1024)
+    for _ in range(20):
+        in_dram.record_only(64, TrafficCategory.HIT_DATA)
+        off_dram.record_only(64, TrafficCategory.HIT_DATA)
+    assert not balancer.should_redirect(0.0)
+    assert balancer.redirect_probability == 0.0
+
+
+def test_redirects_when_in_package_dominates():
+    in_dram, off_dram = make_devices()
+    balancer = BandwidthBalancer(in_dram, off_dram, target_in_fraction=0.8, window_bytes=1024)
+    for _ in range(100):
+        in_dram.record_only(64, TrafficCategory.HIT_DATA)
+    assert balancer.should_redirect(0.0)
+    assert balancer.redirect_probability > 0.0
+    assert balancer.redirected >= 1
+
+
+def test_probability_bounded():
+    in_dram, off_dram = make_devices()
+    balancer = BandwidthBalancer(in_dram, off_dram, target_in_fraction=0.5, window_bytes=64)
+    for _ in range(1000):
+        in_dram.record_only(64, TrafficCategory.HIT_DATA)
+        balancer.should_redirect(0.99)
+    assert 0.0 <= balancer.redirect_probability <= 0.5

@@ -1,0 +1,90 @@
+"""Unit tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.sim.config import (
+    CacheLevelConfig,
+    DramCacheConfig,
+    DramConfig,
+    DramTimingConfig,
+    SystemConfig,
+)
+from repro.util.units import MB
+
+
+def test_paper_default_matches_table2():
+    config = SystemConfig.paper_default()
+    assert config.num_cores == 16
+    assert config.in_package_dram.capacity_bytes == 1024 * MB
+    assert config.in_package_dram.num_channels == 4
+    assert config.off_package_dram.num_channels == 1
+    assert config.l3.size_bytes == 8 * MB
+    assert config.dram_cache.ways == 4
+    assert config.dram_cache.sampling_coefficient == pytest.approx(0.1)
+
+
+def test_scaled_default_preserves_bandwidth_ratio():
+    config = SystemConfig.scaled_default(num_cores=4)
+    ratio = config.in_package_dram.peak_bandwidth_gb_per_s / config.off_package_dram.peak_bandwidth_gb_per_s
+    assert ratio == pytest.approx(4.0)
+
+
+def test_peak_bandwidth_matches_paper():
+    timing = DramTimingConfig()
+    # 128-bit channel at DDR-1333 is ~21.3 GB/s; 4 channels are ~85 GB/s.
+    assert timing.peak_bandwidth_gb_per_s == pytest.approx(21.3, abs=0.5)
+    in_package = DramConfig(name="in", capacity_bytes=MB, num_channels=4)
+    assert in_package.peak_bandwidth_gb_per_s == pytest.approx(85.3, abs=2.0)
+
+
+def test_cache_level_validation():
+    with pytest.raises(ValueError):
+        CacheLevelConfig(size_bytes=0, ways=4)
+    with pytest.raises(ValueError):
+        CacheLevelConfig(size_bytes=48 * 1024, ways=5)  # non power-of-two sets
+    with pytest.raises(ValueError):
+        CacheLevelConfig(size_bytes=64 * 1024, ways=4, replacement="mru")
+
+
+def test_dram_cache_config_validation():
+    with pytest.raises(ValueError):
+        DramCacheConfig(scheme="bogus")
+    with pytest.raises(ValueError):
+        DramCacheConfig(sampling_coefficient=0.0)
+    with pytest.raises(ValueError):
+        DramCacheConfig(banshee_policy="mru")
+
+
+def test_effective_threshold_formula():
+    config = DramCacheConfig()
+    # page_size(lines)=64, coeff=0.1 -> 64*0.1/2 = 3.2 -> 3
+    assert config.effective_threshold(4096, 0.1) == 3
+    # explicit override wins
+    override = DramCacheConfig(replacement_threshold=7)
+    assert override.effective_threshold(4096, 0.1) == 7
+
+
+def test_counter_max():
+    assert DramCacheConfig(counter_bits=5).counter_max == 31
+
+
+def test_with_scheme_returns_new_config():
+    config = SystemConfig.tiny(scheme="banshee")
+    alloy = config.with_scheme("alloy", alloy_replacement_probability=0.1)
+    assert alloy.dram_cache.scheme == "alloy"
+    assert alloy.dram_cache.alloy_replacement_probability == pytest.approx(0.1)
+    assert config.dram_cache.scheme == "banshee"
+
+
+def test_dram_cache_sets_and_pages():
+    config = SystemConfig.tiny()
+    assert config.dram_cache_pages == config.in_package_dram.capacity_bytes // 4096
+    assert config.dram_cache_sets == config.dram_cache_pages // config.dram_cache.ways
+
+
+def test_llc_must_be_smaller_than_dram_cache():
+    with pytest.raises(ValueError):
+        SystemConfig(
+            in_package_dram=DramConfig(name="in", capacity_bytes=256 * 1024, num_channels=1),
+            l3=CacheLevelConfig(size_bytes=512 * 1024, ways=16),
+        )

@@ -1,0 +1,72 @@
+"""Unit tests for the core timing model and trace types."""
+
+import pytest
+
+from repro.cpu.core import CoreModel
+from repro.cpu.trace import TraceRecord, TraceStream, summarize
+from repro.sim.config import CoreConfig
+
+
+def test_compute_advances_by_issue_width():
+    core = CoreModel(0, CoreConfig(issue_width=4))
+    core.advance_compute(40)
+    assert core.clock == pytest.approx(10.0)
+    assert core.stats.instructions == 40
+
+
+def test_memory_levels_have_increasing_cost():
+    config = CoreConfig()
+    costs = {}
+    for level in ("l1", "l2", "l3"):
+        core = CoreModel(0, config)
+        core.advance_memory(level)
+        costs[level] = core.clock
+    assert costs["l1"] < costs["l2"] < costs["l3"]
+
+
+def test_llc_miss_latency_divided_by_mlp():
+    config = CoreConfig(mlp=4.0)
+    core = CoreModel(0, config, mlp=4.0)
+    core.advance_memory("memory", dram_latency=400)
+    assert core.clock == pytest.approx(config.l3_hit_latency + 100)
+
+
+def test_unknown_level_rejected():
+    core = CoreModel(0, CoreConfig())
+    with pytest.raises(ValueError):
+        core.advance_memory("l7")
+
+
+def test_pending_stalls_applied_once():
+    core = CoreModel(0, CoreConfig())
+    core.add_stall(500)
+    assert core.clock == 0
+    core.apply_pending_stalls()
+    assert core.clock == 500
+    core.apply_pending_stalls()
+    assert core.clock == 500
+    assert core.stats.os_stall_cycles == 500
+
+
+def test_ipc():
+    core = CoreModel(0, CoreConfig(issue_width=4))
+    core.advance_compute(400)
+    assert core.ipc == pytest.approx(4.0)
+
+
+def test_trace_stream_stats():
+    records = [TraceRecord(5, 0, False), TraceRecord(3, 4096, True), TraceRecord(2, 64, False)]
+    stream = TraceStream(iter(records), page_size=4096)
+    consumed = list(stream)
+    assert len(consumed) == 3
+    assert stream.stats.instructions == 10
+    assert stream.stats.writes == 1
+    assert stream.stats.unique_pages == 2
+    assert stream.stats.write_fraction == pytest.approx(1 / 3)
+    assert stream.stats.accesses_per_kilo_instruction == pytest.approx(300.0)
+
+
+def test_summarize_helper():
+    stats = summarize([TraceRecord(1, 0, False)] * 10)
+    assert stats.records == 10
+    assert stats.unique_pages == 1

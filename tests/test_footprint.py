@@ -1,0 +1,57 @@
+"""Unit tests for the footprint predictor used by Unison and TDC."""
+
+import pytest
+
+from repro.dramcache.footprint import FootprintPredictor
+
+
+def test_cold_predictor_predicts_full_page():
+    predictor = FootprintPredictor(page_size=4096, granularity_lines=4)
+    assert predictor.predicted_fill_bytes() == 4096
+
+
+def test_average_tracks_observed_footprints():
+    predictor = FootprintPredictor(page_size=4096, granularity_lines=4)
+    predictor.on_fill(1)
+    for line in range(6):
+        predictor.on_access(1, 1 * 4096 + line * 64)
+    predictor.on_evict(1)
+    # 6 touched lines round up to 8 at 4-line granularity -> 512 bytes.
+    assert predictor.predicted_fill_bytes() == 8 * 64
+
+
+def test_prediction_never_exceeds_page():
+    predictor = FootprintPredictor(page_size=4096, granularity_lines=4)
+    predictor.on_fill(2)
+    for line in range(64):
+        predictor.on_access(2, 2 * 4096 + line * 64)
+    predictor.on_evict(2)
+    assert predictor.predicted_fill_bytes() == 4096
+
+
+def test_writeback_bytes_rounds_to_granularity():
+    predictor = FootprintPredictor(page_size=4096, granularity_lines=4)
+    predictor.on_fill(3)
+    predictor.on_access(3, 3 * 4096)
+    assert predictor.writeback_bytes(3) == 4 * 64
+
+
+def test_untracked_page_access_is_ignored():
+    predictor = FootprintPredictor(page_size=4096)
+    predictor.on_access(99, 99 * 4096)
+    assert predictor.touched_lines(99) == 0
+
+
+def test_evict_returns_touched_lines():
+    predictor = FootprintPredictor(page_size=4096)
+    predictor.on_fill(5)
+    predictor.on_access(5, 5 * 4096)
+    predictor.on_access(5, 5 * 4096 + 64)
+    assert predictor.on_evict(5) == 2
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FootprintPredictor(page_size=100)
+    with pytest.raises(ValueError):
+        FootprintPredictor(page_size=4096, granularity_lines=0)

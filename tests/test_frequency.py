@@ -1,0 +1,89 @@
+"""Unit tests for Banshee's per-set frequency metadata."""
+
+import pytest
+
+from repro.core.frequency import INVALID_PAGE, FrequencySetMetadata
+
+
+@pytest.fixture
+def meta():
+    return FrequencySetMetadata(num_ways=4, num_candidates=5, counter_max=31)
+
+
+def test_find_cached_and_candidate(meta):
+    meta.fill_way(2, page=77, count=3, dirty=False)
+    meta.install_candidate(1, page=88, count=1)
+    assert meta.find_cached(77) == 2
+    assert meta.find_cached(88) is None
+    assert meta.find_candidate(88) == 1
+    assert meta.find_candidate(77) is None
+
+
+def test_min_cached_counts_invalid_as_zero(meta):
+    meta.fill_way(0, page=1, count=10, dirty=False)
+    way, count = meta.min_cached()
+    assert count == 0 and way != 0
+
+
+def test_min_cached_full_set(meta):
+    for way in range(4):
+        meta.fill_way(way, page=way, count=way + 5, dirty=False)
+    way, count = meta.min_cached()
+    assert way == 0 and count == 5
+
+
+def test_increment_saturation_halves_all(meta):
+    meta.fill_way(0, page=1, count=30, dirty=False)
+    meta.fill_way(1, page=2, count=20, dirty=False)
+    halved = meta.increment(meta.cached[0])
+    assert halved
+    assert meta.cached[0].count == 15
+    assert meta.cached[1].count == 10
+
+
+def test_promote_swaps_candidate_and_victim(meta):
+    meta.fill_way(3, page=50, count=2, dirty=True)
+    meta.install_candidate(0, page=60, count=7)
+    old_page, old_count, old_dirty = meta.promote(candidate_index=0, way=3)
+    assert (old_page, old_count, old_dirty) == (50, 2, True)
+    assert meta.cached[3].page == 60
+    assert meta.cached[3].count == 7
+    # The former resident becomes a candidate and keeps its counter.
+    assert meta.find_candidate(50) == 0
+    assert meta.candidates[0].count == 2
+
+
+def test_promote_into_empty_way(meta):
+    meta.install_candidate(2, page=9, count=4)
+    old_page, _count, _dirty = meta.promote(candidate_index=2, way=1)
+    assert old_page == INVALID_PAGE
+    assert meta.cached[1].page == 9
+    assert not meta.candidates[2].valid
+
+
+def test_free_way(meta):
+    assert meta.free_way() == 0
+    for way in range(4):
+        meta.fill_way(way, page=way, count=1, dirty=False)
+    assert meta.free_way() is None
+
+
+def test_check_invariants_pass(meta):
+    meta.fill_way(0, page=1, count=3, dirty=False)
+    meta.install_candidate(0, page=2, count=1)
+    meta.check_invariants()
+
+
+def test_storage_fits_32_bytes():
+    meta = FrequencySetMetadata(num_ways=4, num_candidates=5, counter_max=31)
+    # Section 5.1: 4 cached (27 bits) + 5 candidates (25 bits) fit in 32 bytes.
+    assert meta.storage_bits <= 32 * 8
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FrequencySetMetadata(0, 5, 31)
+    with pytest.raises(ValueError):
+        FrequencySetMetadata(4, -1, 31)
+    with pytest.raises(ValueError):
+        FrequencySetMetadata(4, 5, 0)

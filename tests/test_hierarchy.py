@@ -1,0 +1,61 @@
+"""Unit tests for the L1/L2/L3 cache hierarchy."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.sim.config import SystemConfig
+
+
+@pytest.fixture
+def hierarchy():
+    return CacheHierarchy(SystemConfig.tiny(num_cores=2))
+
+
+def test_first_access_misses_everywhere(hierarchy):
+    outcome = hierarchy.access(0, 0x1000, False)
+    assert outcome.level == "memory"
+    assert outcome.llc_miss
+
+
+def test_second_access_hits_l1(hierarchy):
+    hierarchy.access(0, 0x1000, False)
+    outcome = hierarchy.access(0, 0x1000, False)
+    assert outcome.level == "l1"
+    assert not outcome.llc_miss
+
+
+def test_shared_llc_serves_other_core(hierarchy):
+    hierarchy.access(0, 0x1000, False)
+    outcome = hierarchy.access(1, 0x1000, False)
+    # Core 1 misses its private L1/L2 but hits the shared L3.
+    assert outcome.level == "l3"
+    assert not outcome.llc_miss
+
+
+def test_dirty_data_eventually_produces_writebacks(hierarchy):
+    writebacks = []
+    for i in range(20_000):
+        outcome = hierarchy.access(0, (i * 64) % (1 << 22), True)
+        writebacks.extend(outcome.writebacks)
+    assert writebacks, "a write-heavy streaming pattern must produce LLC writebacks"
+    assert all(eviction.dirty for eviction in writebacks)
+
+
+def test_core_id_validated(hierarchy):
+    with pytest.raises(ValueError):
+        hierarchy.access(5, 0x0, False)
+
+
+def test_flush_page_scrubs_all_levels(hierarchy):
+    hierarchy.access(0, 0x3000, True)
+    dirty = hierarchy.flush_page(0x3000, 4096)
+    assert dirty
+    outcome = hierarchy.access(0, 0x3000, False)
+    assert outcome.level == "memory"
+
+
+def test_stats_keys(hierarchy):
+    hierarchy.access(0, 0x0, False)
+    stats = hierarchy.stats()
+    for key in ("l1_hits", "l1_misses", "l2_misses", "l3_misses", "l3_dirty_evictions"):
+        assert key in stats

@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.sram_cache import SramCache
+from repro.core.frequency import FrequencySetMetadata
+from repro.core.tag_buffer import TagBuffer, TagBufferFullError
+from repro.dram.channel import DramChannel
+from repro.dram.timing import DramTiming
+from repro.dramcache.footprint import FootprintPredictor
+from repro.sim.config import CacheLevelConfig, DramTimingConfig
+from repro.sim.stats import TrafficCategory, TrafficStats
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=1 << 20), st.booleans()), max_size=400))
+def test_sram_cache_occupancy_and_counters(accesses):
+    cache = SramCache("prop", CacheLevelConfig(size_bytes=4096, ways=4))
+    for addr, is_write in accesses:
+        cache.access(addr, is_write)
+    assert cache.occupancy <= cache.capacity_lines
+    assert cache.hits + cache.misses == len(accesses)
+    # Every resident line must map to the set it is stored in.
+    for line_addr in cache.resident_lines():
+        assert cache.lookup(line_addr)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=512), st.booleans(), st.booleans()), max_size=300))
+def test_tag_buffer_remap_entries_never_lost(operations):
+    buffer = TagBuffer(num_entries=32, num_ways=4)
+    expected_remaps = {}
+    for page, cached, remap in operations:
+        try:
+            buffer.insert(page, cached, 0, remap)
+        except TagBufferFullError:
+            continue
+        if remap:
+            expected_remaps[page] = cached
+        elif page in expected_remaps:
+            # A clean insert over an existing remap keeps the remap bit but
+            # may update the mapping value.
+            expected_remaps[page] = cached
+    recorded = {page: cached for page, cached, _way in buffer.remap_entries()}
+    assert recorded == expected_remaps
+    assert buffer.occupancy <= buffer.num_entries
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=500))
+def test_frequency_counters_stay_in_range(pages):
+    meta = FrequencySetMetadata(num_ways=4, num_candidates=5, counter_max=31)
+    for page in pages:
+        way = meta.find_cached(page)
+        if way is not None:
+            meta.increment(meta.cached[way])
+        else:
+            index = meta.find_candidate(page)
+            if index is not None:
+                meta.increment(meta.candidates[index])
+            else:
+                meta.install_candidate(page % 5, page, count=1)
+    meta.check_invariants()
+    for slot in meta.cached + meta.candidates:
+        assert 0 <= slot.count <= 31
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=1 << 16), st.integers(min_value=1, max_value=4096), st.booleans()),
+        max_size=200,
+    )
+)
+def test_channel_time_never_goes_backwards(requests):
+    channel = DramChannel(0, DramTiming(DramTimingConfig(), 2.7))
+    now = 0
+    previous_busy = 0
+    for advance, num_bytes, background in requests:
+        now += advance
+        outcome = channel.access(now, num_bytes, background=background)
+        assert outcome.latency >= 0
+        assert outcome.transfer_cycles >= 1
+        assert channel.busy_until >= 0
+        assert channel.total_busy_cycles >= previous_busy
+        previous_busy = channel.total_busy_cycles
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200))
+def test_footprint_prediction_bounded_by_page(lines):
+    predictor = FootprintPredictor(page_size=4096, granularity_lines=4)
+    predictor.on_fill(0)
+    for line in lines:
+        predictor.on_access(0, line * 64)
+    assert 64 <= predictor.writeback_bytes(0) <= 4096
+    predictor.on_evict(0)
+    assert 256 <= predictor.predicted_fill_bytes() <= 4096
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(list(TrafficCategory)), st.integers(min_value=0, max_value=8192)), max_size=300))
+def test_traffic_totals_are_consistent(records):
+    traffic = TrafficStats("prop")
+    for category, num_bytes in records:
+        traffic.record(category, num_bytes)
+    assert traffic.total_bytes == sum(num_bytes for _category, num_bytes in records)
+    assert traffic.total_bytes == sum(traffic.breakdown().values())
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 14), min_size=1, max_size=300), st.integers(min_value=1, max_value=8))
+def test_lru_cache_matches_reference_model(addresses, ways):
+    """The SRAM cache's LRU behaviour must match a simple reference model."""
+    config = CacheLevelConfig(size_bytes=ways * 64, ways=ways)  # a single set
+    cache = SramCache("ref", config)
+    reference = OrderedDict()
+    for addr in addresses:
+        line = addr // 64
+        hit = cache.access(addr, False).hit
+        ref_hit = line in reference
+        assert hit == ref_hit
+        if ref_hit:
+            reference.move_to_end(line)
+        else:
+            if len(reference) >= ways:
+                reference.popitem(last=False)
+            reference[line] = True

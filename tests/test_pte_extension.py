@@ -1,0 +1,45 @@
+"""Unit tests for the lazy PTE-update batcher."""
+
+import pytest
+
+from repro.core.pte_extension import PteUpdateBatcher
+from repro.core.tag_buffer import TagBuffer
+from repro.dramcache.base import OsServices
+
+
+class RecordingOs(OsServices):
+    def __init__(self):
+        self.batches = []
+
+    def pte_update_batch(self, initiator_core, updates):
+        self.batches.append((initiator_core, list(updates)))
+
+
+def test_needs_flush_threshold():
+    buffers = [TagBuffer(16, 4), TagBuffer(16, 4)]
+    batcher = PteUpdateBatcher(buffers, RecordingOs())
+    assert not batcher.needs_flush(0.5)
+    for page in range(8):
+        buffers[0].insert(page, True, 0, remap=True)
+    assert batcher.needs_flush(0.5)
+
+
+def test_flush_collects_from_all_buffers_and_clears():
+    buffers = [TagBuffer(16, 4), TagBuffer(16, 4)]
+    os_services = RecordingOs()
+    batcher = PteUpdateBatcher(buffers, os_services)
+    buffers[0].insert(1, True, 2, remap=True)
+    buffers[1].insert(5, False, 0, remap=True)
+    buffers[1].insert(6, True, 1, remap=False)
+    applied = batcher.flush(initiator_core=3)
+    assert applied == 2
+    assert os_services.batches[0][0] == 3
+    assert set(page for page, _c, _w in os_services.batches[0][1]) == {1, 5}
+    assert all(buffer.remap_count == 0 for buffer in buffers)
+    assert batcher.flushes == 1
+    assert batcher.updates_applied == 2
+
+
+def test_requires_at_least_one_buffer():
+    with pytest.raises(ValueError):
+        PteUpdateBatcher([], RecordingOs())

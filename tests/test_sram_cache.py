@@ -1,0 +1,126 @@
+"""Unit tests for the SRAM cache model and replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import FifoPolicy, LruPolicy, RandomPolicy, make_policy
+from repro.cache.sram_cache import SramCache
+from repro.sim.config import CacheLevelConfig
+
+
+def make_cache(size=4096, ways=4, replacement="lru"):
+    return SramCache("test", CacheLevelConfig(size_bytes=size, ways=ways, replacement=replacement))
+
+
+def test_miss_then_hit():
+    cache = make_cache()
+    assert not cache.access(0x1000, False).hit
+    assert cache.access(0x1000, False).hit
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_same_line_different_offset_hits():
+    cache = make_cache()
+    cache.access(0x1000, False)
+    assert cache.access(0x1020, False).hit
+
+
+def test_dirty_eviction_reported():
+    cache = make_cache(size=256, ways=1)  # 4 sets, direct mapped
+    cache.access(0x0, True)
+    result = cache.access(0x400, False)  # same set, evicts the dirty line
+    assert result.eviction is not None
+    assert result.eviction.dirty
+    assert result.eviction.addr == 0x0
+
+
+def test_clean_eviction_not_dirty():
+    cache = make_cache(size=256, ways=1)
+    cache.access(0x0, False)
+    result = cache.access(0x400, False)
+    assert result.eviction is not None
+    assert not result.eviction.dirty
+
+
+def test_lru_eviction_order():
+    cache = make_cache(size=256, ways=2)  # 2 sets, 2 ways
+    cache.access(0x0, False)
+    cache.access(0x200, False)
+    cache.access(0x0, False)  # touch line 0 so 0x200 is LRU
+    result = cache.access(0x400, False)
+    assert result.eviction.addr == 0x200
+
+
+def test_occupancy_never_exceeds_capacity():
+    cache = make_cache(size=1024, ways=4)
+    for i in range(1000):
+        cache.access(i * 64, i % 3 == 0)
+    assert cache.occupancy <= cache.capacity_lines
+
+
+def test_fill_does_not_count_as_demand():
+    cache = make_cache()
+    cache.fill(0x1000, dirty=True)
+    assert cache.hits == 0 and cache.misses == 0
+    assert cache.lookup(0x1000)
+
+
+def test_invalidate_returns_dirty_line():
+    cache = make_cache()
+    cache.access(0x1000, True)
+    evicted = cache.invalidate(0x1000)
+    assert evicted is not None and evicted.dirty
+    assert not cache.lookup(0x1000)
+    assert cache.invalidate(0x1000) is None
+
+
+def test_flush_page_removes_all_lines():
+    cache = make_cache(size=16 * 1024, ways=8)
+    for offset in range(0, 4096, 64):
+        cache.access(0x2000 + offset if False else offset, True)
+    dirty = cache.flush_page(0, 4096)
+    assert len(dirty) > 0
+    for offset in range(0, 4096, 64):
+        assert not cache.lookup(offset)
+
+
+def test_miss_rate():
+    cache = make_cache()
+    cache.access(0, False)
+    cache.access(0, False)
+    assert cache.miss_rate == pytest.approx(0.5)
+
+
+# --------------------------------------------------------------------------- replacement policies
+
+
+def test_lru_policy_victim_is_least_recent():
+    policy = LruPolicy(1, 4)
+    for way in range(4):
+        policy.on_fill(0, way)
+    policy.on_access(0, 0)
+    victim = policy.victim(0, [True] * 4)
+    assert victim == 1
+
+
+def test_lru_policy_prefers_invalid_way():
+    policy = LruPolicy(1, 4)
+    assert policy.victim(0, [True, False, True, True]) == 1
+
+
+def test_fifo_policy_ignores_hits():
+    policy = FifoPolicy(1, 3)
+    for way in range(3):
+        policy.on_fill(0, way)
+    policy.on_access(0, 0)  # should not matter
+    assert policy.victim(0, [True] * 3) == 0
+
+
+def test_random_policy_returns_valid_way():
+    policy = RandomPolicy(1, 4)
+    for _ in range(20):
+        assert 0 <= policy.victim(0, [True] * 4) < 4
+
+
+def test_make_policy_rejects_unknown():
+    with pytest.raises(ValueError):
+        make_policy("plru", 1, 4)

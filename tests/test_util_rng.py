@@ -1,0 +1,44 @@
+"""Unit tests for repro.util.rng."""
+
+import pytest
+
+from repro.util.rng import DeterministicRng
+
+
+def test_same_seed_same_stream():
+    a = DeterministicRng(42)
+    b = DeterministicRng(42)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_fork_streams_are_independent_and_deterministic():
+    a = DeterministicRng(42).fork(1)
+    b = DeterministicRng(42).fork(2)
+    a2 = DeterministicRng(42).fork(1)
+    assert a.random() == a2.random()
+    assert a.random() != b.random()
+
+
+def test_chance_extremes():
+    rng = DeterministicRng(1)
+    assert not rng.chance(0.0)
+    assert rng.chance(1.0)
+
+
+def test_randint_bounds():
+    rng = DeterministicRng(3)
+    values = [rng.randint(0, 5) for _ in range(200)]
+    assert min(values) >= 0
+    assert max(values) < 5
+
+
+def test_choice_rejects_empty():
+    rng = DeterministicRng(3)
+    with pytest.raises(ValueError):
+        rng.choice([])
+
+
+def test_choice_returns_member():
+    rng = DeterministicRng(3)
+    options = ["a", "b", "c"]
+    assert rng.choice(options) in options

@@ -1,0 +1,161 @@
+"""Unit tests for the workload generators."""
+
+import itertools
+
+import pytest
+
+from repro.cpu.trace import summarize
+from repro.workloads.graph import PageRankWorkload
+from repro.workloads.mixes import MIX_DEFINITIONS, MixWorkload
+from repro.workloads.registry import EVALUATION_WORKLOADS, available_workloads, get_workload
+from repro.workloads.spec import SPEC_PARAMS, SpecWorkload
+from repro.workloads.synthetic import (
+    PointerChasePattern,
+    StreamPattern,
+    ZipfPagePattern,
+)
+from repro.util.rng import DeterministicRng
+
+
+def take(workload, core_id, count):
+    return list(itertools.islice(workload.trace(core_id), count))
+
+
+def test_registry_covers_evaluation_workloads():
+    names = available_workloads()
+    for workload in EVALUATION_WORKLOADS:
+        assert workload in names
+
+
+def test_registry_builds_each_kind():
+    for name in ("pagerank", "mcf", "mix1"):
+        workload = get_workload(name, num_cores=2, scale=0.1)
+        records = take(workload, 0, 50)
+        assert len(records) == 50
+
+
+def test_registry_rejects_unknown():
+    with pytest.raises(ValueError):
+        get_workload("nonsense", num_cores=2)
+
+
+def test_traces_are_deterministic_per_seed():
+    a = get_workload("mcf", num_cores=2, scale=0.1, seed=3)
+    b = get_workload("mcf", num_cores=2, scale=0.1, seed=3)
+    assert take(a, 1, 200) == take(b, 1, 200)
+    c = get_workload("mcf", num_cores=2, scale=0.1, seed=4)
+    assert take(a, 1, 200) != take(c, 1, 200)
+
+
+def test_cores_have_distinct_streams():
+    workload = get_workload("omnetpp", num_cores=2, scale=0.1)
+    assert take(workload, 0, 100) != take(workload, 1, 100)
+
+
+def test_spec_cores_use_disjoint_regions():
+    workload = SpecWorkload("mcf", num_cores=2, scale=0.2)
+    records0 = take(workload, 0, 500)
+    records1 = take(workload, 1, 500)
+    max0 = max(record.addr for record in records0)
+    min1 = min(record.addr for record in records1)
+    assert max0 < workload.per_core_footprint
+    assert min1 >= workload.per_core_footprint
+
+
+def test_spec_write_fraction_approximates_parameter():
+    workload = SpecWorkload("lbm", num_cores=1, scale=0.2)
+    stats = summarize(itertools.islice(workload.trace(0), 4000))
+    assert stats.write_fraction == pytest.approx(SPEC_PARAMS["lbm"]["write_fraction"], abs=0.08)
+
+
+def test_spec_streaming_benchmark_has_more_spatial_locality_than_pointer_chasing():
+    def unique_page_ratio(name):
+        workload = SpecWorkload(name, num_cores=1, scale=0.2)
+        stats = summarize(itertools.islice(workload.trace(0), 4000))
+        return stats.unique_pages / stats.records
+
+    assert unique_page_ratio("lbm") < unique_page_ratio("omnetpp")
+
+
+def test_graph_workload_addresses_stay_in_footprint():
+    workload = PageRankWorkload(num_cores=2, scale=0.1)
+    records = take(workload, 0, 2000)
+    limit = workload.vertex_b_base + workload.num_vertices * 8 + 4096
+    assert all(0 <= record.addr < limit for record in records)
+    assert any(record.is_write for record in records)
+    assert any(not record.is_write for record in records)
+
+
+def test_graph_workload_shared_across_cores():
+    workload = PageRankWorkload(num_cores=2, scale=0.1)
+    pages0 = {record.addr // 4096 for record in take(workload, 0, 2000)}
+    pages1 = {record.addr // 4096 for record in take(workload, 1, 2000)}
+    assert pages0 & pages1, "graph data (vertex state) must be shared between cores"
+
+
+def test_mix_assignment_matches_table4():
+    workload = MixWorkload("mix1", num_cores=4)
+    assert workload.assignment == MIX_DEFINITIONS["mix1"][:4]
+    info = workload.describe()
+    assert info["assignment"] == workload.assignment
+
+
+def test_mix_cores_live_in_disjoint_gigabyte_slices():
+    workload = MixWorkload("mix2", num_cores=2, scale=0.1)
+    records0 = take(workload, 0, 300)
+    records1 = take(workload, 1, 300)
+    assert max(r.addr for r in records0) < 1 << 30
+    assert min(r.addr for r in records1) >= 1 << 30
+
+
+def test_mix_rejects_unknown_name():
+    with pytest.raises(ValueError):
+        MixWorkload("mix99", num_cores=2)
+
+
+def test_spec_rejects_unknown_benchmark():
+    with pytest.raises(ValueError):
+        SpecWorkload("doom", num_cores=2)
+
+
+# --------------------------------------------------------------------------- synthetic patterns
+
+
+def test_stream_pattern_is_sequential():
+    pattern = StreamPattern(0, 1 << 20)
+    rng = DeterministicRng(1).generator
+    addrs = pattern.addresses(rng, 100)
+    deltas = addrs[1:] - addrs[:-1]
+    assert (deltas >= 0).all() or (deltas <= 0).sum() <= 1
+
+
+def test_stream_pattern_wraps_around():
+    pattern = StreamPattern(0, 4096)
+    rng = DeterministicRng(1).generator
+    addrs = pattern.addresses(rng, 200)
+    assert addrs.max() < 4096
+
+
+def test_zipf_pattern_is_skewed():
+    pattern = ZipfPagePattern(0, 1 << 22, zipf_alpha=1.0, burst_lines=1)
+    rng = DeterministicRng(1).generator
+    addrs = pattern.addresses(rng, 5000)
+    pages = [addr // 4096 for addr in addrs]
+    counts = sorted((pages.count(page) for page in set(pages)), reverse=True)
+    top_share = sum(counts[:10]) / len(pages)
+    assert top_share > 0.15, "a zipf pattern must concentrate accesses on few pages"
+
+
+def test_zipf_pattern_respects_region():
+    pattern = ZipfPagePattern(1 << 30, 1 << 20, burst_lines=4)
+    rng = DeterministicRng(1).generator
+    addrs = pattern.addresses(rng, 1000)
+    assert addrs.min() >= 1 << 30
+    assert addrs.max() < (1 << 30) + (1 << 20)
+
+
+def test_pointer_chase_covers_region():
+    pattern = PointerChasePattern(0, 1 << 20)
+    rng = DeterministicRng(1).generator
+    addrs = pattern.addresses(rng, 2000)
+    assert len(set(addr // 4096 for addr in addrs)) > 100
