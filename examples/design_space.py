@@ -1,56 +1,95 @@
 #!/usr/bin/env python3
-"""Design-space exploration of Banshee's own parameters.
+"""Design-space exploration of Banshee's own parameters, as a campaign.
 
 Sweeps the three knobs the paper studies in its sensitivity section —
 sampling coefficient (Figure 9), DRAM-cache associativity (Table 6) and the
 tag-buffer / PTE-update cost (Table 5) — on a workload of your choice, and
 prints how miss rate, metadata traffic and performance respond.
 
+The sweeps are declared as :class:`repro.campaign.CampaignSpec` grids and
+executed through :func:`repro.campaign.run_campaign`, so they fan out across
+worker processes and, when ``--store`` is given, are fully resumable: re-run
+with the same store directory and only missing cells are simulated.
+
 Usage::
 
-    python examples/design_space.py [workload] [records_per_core]
+    python examples/design_space.py [--workload mcf] [--records 6000]
+        [--workers 4] [--store DIR]
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 
-from repro import SystemConfig, run_simulation
+from repro.campaign import CampaignSpec, ResultStore, SweepGrid, run_campaign
 from repro.experiments.report import format_table
 
 
-def run(workload, records, **overrides):
-    config = SystemConfig.scaled_default(scheme="banshee").with_scheme("banshee", **overrides)
-    return run_simulation(config, workload_name=workload, records_per_core=records)
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="mcf")
+    parser.add_argument("--records", type=int, default=6000)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--store", help="persistent store directory (enables resume)")
+    return parser.parse_args()
+
+
+def run_sweep(spec: CampaignSpec, store, workers: int, value_by_label):
+    """Run a one-axis sweep and return (value, result) pairs in axis order."""
+    report = run_campaign(spec, store=store, workers=workers)
+    for outcome in report.errors:
+        raise RuntimeError(f"cell {outcome.cell.describe()} failed:\n{outcome.error}")
+    pairs = [
+        (value_by_label[label], result)
+        for (label, _workload, _seed), result in report.results().items()
+    ]
+    return sorted(pairs, key=lambda pair: pair[0])
 
 
 def main() -> None:
-    workload = sys.argv[1] if len(sys.argv) > 1 else "mcf"
-    records = int(sys.argv[2]) if len(sys.argv) > 2 else 6000
+    args = parse_args()
+    store = ResultStore(args.store) if args.store else None
 
-    rows = []
-    for coefficient in (1.0, 0.1, 0.01):
-        result = run(workload, records, sampling_coefficient=coefficient)
-        rows.append([coefficient, round(result.dram_cache_miss_rate, 3),
-                     round(result.in_bytes_per_instruction.get("Counter", 0.0), 3),
-                     round(result.ipc, 3)])
+    def spec(name: str, schemes) -> CampaignSpec:
+        return CampaignSpec(
+            name=name,
+            grids=[SweepGrid(schemes=schemes, workloads=[args.workload])],
+            records_per_core=args.records,
+            preset="scaled",
+            num_cores=4,
+        )
+
+    def one_axis_sweep(name: str, override_field: str, values):
+        labels = {f"{name}-{value}": value for value in values}
+        schemes = [(label, "banshee", {override_field: value}) for label, value in labels.items()]
+        return run_sweep(spec(name, schemes), store, args.workers, labels)
+
+    # Sampling coefficient sweep (Figure 9).
+    pairs = one_axis_sweep("coeff", "sampling_coefficient", (1.0, 0.1, 0.01))
+    rows = [[coefficient, round(result.dram_cache_miss_rate, 3),
+             round(result.in_bytes_per_instruction.get("Counter", 0.0), 3),
+             round(result.ipc, 3)]
+            for coefficient, result in reversed(pairs)]
     print(format_table(["sampling_coeff", "miss_rate", "counter_bpi", "ipc"], rows,
-                       title=f"Sampling coefficient sweep ({workload})"))
+                       title=f"Sampling coefficient sweep ({args.workload})"))
 
-    rows = []
-    for ways in (1, 2, 4, 8):
-        result = run(workload, records, ways=ways)
-        rows.append([ways, round(result.dram_cache_miss_rate, 3), round(result.ipc, 3)])
+    # Associativity sweep (Table 6).
+    pairs = one_axis_sweep("ways", "ways", (1, 2, 4, 8))
+    rows = [[ways, round(result.dram_cache_miss_rate, 3), round(result.ipc, 3)]
+            for ways, result in pairs]
     print()
     print(format_table(["ways", "miss_rate", "ipc"], rows, title="Associativity sweep"))
 
-    rows = []
-    for cost in (0.0, 10.0, 20.0, 40.0):
-        result = run(workload, records, tag_buffer_flush_cost_us=cost)
-        rows.append([cost, round(result.cycles, 0), round(result.os_stall_cycles, 0)])
+    # PTE-update cost sweep (Table 5).
+    pairs = one_axis_sweep("cost", "tag_buffer_flush_cost_us", (0.0, 10.0, 20.0, 40.0))
+    rows = [[cost, round(result.cycles, 0), round(result.os_stall_cycles, 0)]
+            for cost, result in pairs]
     print()
     print(format_table(["pte_update_cost_us", "cycles", "os_stall_cycles"], rows,
                        title="PTE update cost sweep"))
+
+    if store is not None:
+        print(f"\n{len(store)} cells in {store.path} — re-run with --store to skip them all.")
 
 
 if __name__ == "__main__":

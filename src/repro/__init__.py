@@ -8,8 +8,10 @@ The package provides:
 * the Banshee DRAM-cache design (:mod:`repro.core`) and the baselines it is
   compared against (:mod:`repro.dramcache`),
 * the workload generators of the paper's evaluation (:mod:`repro.workloads`),
-* and an experiment harness that regenerates every table and figure
-  (:mod:`repro.experiments`).
+* an experiment harness that regenerates every table and figure
+  (:mod:`repro.experiments`),
+* and a parallel, resumable campaign subsystem with a persistent result
+  store and a ``python -m repro.campaign`` CLI (:mod:`repro.campaign`).
 
 Quickstart::
 

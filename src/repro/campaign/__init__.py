@@ -1,0 +1,38 @@
+"""Parallel, resumable experiment campaigns with a persistent result store.
+
+The campaign subsystem turns the (scheme x workload x parameter x seed)
+matrices behind the paper's figures into first-class objects:
+
+* :class:`~repro.campaign.spec.CampaignSpec` / :class:`~repro.campaign.spec.SweepGrid`
+  declare a sweep and expand it into simulation cells;
+* :class:`~repro.campaign.executor.ParallelExecutor` fans cells out across
+  worker processes with per-cell error capture;
+* :class:`~repro.campaign.store.ResultStore` persists every result on disk
+  under content-hashed keys, making campaigns resumable and letting the
+  figure functions in :mod:`repro.experiments.figures` rebuild reports
+  without re-simulating;
+* :mod:`repro.campaign.export` and the ``python -m repro.campaign`` CLI
+  (:mod:`repro.campaign.cli`) turn stores into CSV/JSON tables.
+"""
+
+from repro.campaign.driver import CampaignReport, run_campaign
+from repro.campaign.executor import CellOutcome, ParallelExecutor, SerialExecutor, execute_cell
+from repro.campaign.export import export_csv, export_json, result_rows
+from repro.campaign.spec import CampaignCell, CampaignSpec, SweepGrid
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "CampaignCell",
+    "CampaignReport",
+    "CampaignSpec",
+    "CellOutcome",
+    "ParallelExecutor",
+    "ResultStore",
+    "SerialExecutor",
+    "SweepGrid",
+    "execute_cell",
+    "export_csv",
+    "export_json",
+    "result_rows",
+    "run_campaign",
+]

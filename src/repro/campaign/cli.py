@@ -1,0 +1,233 @@
+"""``python -m repro.campaign`` — run, inspect and export campaigns.
+
+Subcommands::
+
+    run     expand a campaign spec, skip cells the store already holds,
+            simulate the rest (optionally across worker processes), and
+            persist every fresh result
+    status  summarise a store directory (and, given a spec, what remains)
+    export  dump a store as CSV or JSON
+
+The campaign can be described either inline (``--schemes banshee alloy
+--workloads gcc mcf --seeds 1 2``) or by a JSON spec file (``--spec
+campaign.json``, the :meth:`CampaignSpec.to_dict` format).  Inline flags
+override the corresponding spec-file fields.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.campaign.driver import CampaignReport, run_campaign
+from repro.campaign.executor import CellOutcome
+from repro.campaign.export import export_csv, export_json
+from repro.campaign.spec import PRESETS, CampaignSpec, SweepGrid
+from repro.campaign.store import ResultStore
+from repro.experiments.report import format_table
+
+
+def _optional_int(text: str) -> Optional[int]:
+    return None if text.lower() in ("none", "default") else int(text)
+
+
+def _optional_float(text: str) -> Optional[float]:
+    return None if text.lower() in ("none", "default") else float(text)
+
+
+def _optional_str(text: str) -> Optional[str]:
+    return None if text.lower() in ("none", "default") else text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Parallel, resumable simulation campaigns with a persistent result store.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run (or resume) a campaign")
+    run_parser.add_argument("--store", required=True, help="result store directory")
+    run_parser.add_argument("--spec", help="JSON campaign spec file")
+    run_parser.add_argument("--name", help="campaign name (default: spec file's name, or 'campaign')")
+    run_parser.add_argument("--schemes", nargs="+", help="scheme names, e.g. banshee alloy nocache")
+    run_parser.add_argument("--workloads", nargs="+", help="workload names, e.g. gcc mcf pagerank")
+    run_parser.add_argument("--seeds", nargs="+", type=int, help="RNG seeds")
+    run_parser.add_argument("--cache-sizes", nargs="+", type=_optional_int,
+                            help="in-package capacities in bytes ('default' keeps the preset)")
+    run_parser.add_argument("--page-sizes", nargs="+", type=_optional_int,
+                            help="DRAM-cache page sizes in bytes")
+    run_parser.add_argument("--policies", nargs="+", type=_optional_str,
+                            help="banshee replacement policies (fbr-sample, fbr-nosample, lru)")
+    run_parser.add_argument("--sampling", nargs="+", type=_optional_float,
+                            help="sampling coefficients")
+    run_parser.add_argument("--records", type=int, help="trace records per core")
+    run_parser.add_argument("--cores", type=int, help="simulated cores per cell")
+    run_parser.add_argument("--preset", choices=PRESETS, help="base configuration preset")
+    run_parser.add_argument("--scale", type=float, help="workload footprint scale")
+    run_parser.add_argument("--warmup", type=float, help="warmup fraction in [0, 1)")
+    run_parser.add_argument("--workers", type=int, default=1,
+                            help="worker processes (default 1 = serial)")
+    run_parser.add_argument("--force", action="store_true",
+                            help="re-simulate cells the store already holds")
+    run_parser.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
+
+    status_parser = sub.add_parser("status", help="summarise a store directory")
+    status_parser.add_argument("--store", required=True)
+    status_parser.add_argument("--spec", help="JSON spec file: also report pending cells")
+
+    export_parser = sub.add_parser("export", help="dump a store as CSV or JSON")
+    export_parser.add_argument("--store", required=True)
+    export_parser.add_argument("--format", choices=("csv", "json"), default="csv")
+    export_parser.add_argument("--output", help="output file (default: stdout)")
+    return parser
+
+
+def load_spec_file(path: str) -> CampaignSpec:
+    """Load a :meth:`CampaignSpec.to_dict`-format JSON spec file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return CampaignSpec.from_dict(json.load(handle))
+
+
+def spec_from_args(args: argparse.Namespace) -> CampaignSpec:
+    """Build the campaign spec from ``--spec`` and/or inline flags."""
+    payload = {}
+    if args.spec:
+        payload = load_spec_file(args.spec).to_dict()
+
+    grid_fields = {
+        "schemes": args.schemes,
+        "workloads": args.workloads,
+        "seeds": args.seeds,
+        "cache_sizes": args.cache_sizes,
+        "page_sizes": args.page_sizes,
+        "replacement_policies": args.policies,
+        "sampling_coefficients": args.sampling,
+    }
+    grid_overrides = {name: value for name, value in grid_fields.items() if value is not None}
+    spec_fields = {
+        "name": args.name,
+        "records_per_core": args.records,
+        "num_cores": args.cores,
+        "preset": args.preset,
+        "scale": args.scale,
+        "warmup_fraction": args.warmup,
+    }
+    for name, value in spec_fields.items():
+        if value is not None:
+            payload[name] = value
+    payload.setdefault("name", "campaign")
+
+    if grid_overrides:
+        grids = payload.get("grids") or [{}]
+        payload["grids"] = [dict(grid, **grid_overrides) for grid in grids]
+    payload.setdefault("grids", [SweepGrid().to_dict()])
+    return CampaignSpec.from_dict(payload)
+
+
+def _print_progress(done: int, total: int, outcome: CellOutcome, stream) -> None:
+    if outcome.from_store:
+        status = "store"
+    elif outcome.ok:
+        status = f"{outcome.wall_seconds:.2f}s"
+    else:
+        status = "ERROR"
+    print(f"  [{done}/{total}] {outcome.cell.describe():<40s} {status}", file=stream)
+
+
+def _report_table(report: CampaignReport) -> str:
+    rows = []
+    for outcome in report.outcomes:
+        if not outcome.ok:
+            continue
+        summary = outcome.result.summary()
+        rows.append([
+            outcome.cell.label,
+            outcome.cell.workload,
+            outcome.cell.seed,
+            summary["ipc"],
+            summary["miss_rate"],
+            summary["mpki"],
+            summary["in_bpi"],
+            summary["off_bpi"],
+            "store" if outcome.from_store else "run",
+        ])
+    headers = ["scheme", "workload", "seed", "ipc", "miss_rate", "mpki", "in_bpi", "off_bpi", "source"]
+    return format_table(headers, rows, title=f"Campaign '{report.spec.name}'")
+
+
+def cmd_run(args: argparse.Namespace, stream) -> int:
+    spec = spec_from_args(args)
+    store = ResultStore(args.store)
+    progress = None if args.quiet else (lambda d, t, o: _print_progress(d, t, o, stream))
+    print(f"campaign '{spec.name}': {spec.num_cells} cells -> {store.path}", file=stream)
+    report = run_campaign(spec, store=store, workers=args.workers, progress=progress, force=args.force)
+    counts = report.counts()
+    print(file=stream)
+    print(_report_table(report), file=stream)
+    print(file=stream)
+    print(
+        f"done: {counts['total']} cells, {counts['simulated']} simulated, "
+        f"{counts['from_store']} from store, {counts['errors']} errors",
+        file=stream,
+    )
+    for outcome in report.errors:
+        print(f"\nERROR in {outcome.cell.describe()}:\n{outcome.error}", file=stream)
+    return 1 if report.errors else 0
+
+
+def cmd_status(args: argparse.Namespace, stream) -> int:
+    store = ResultStore(args.store, create=False)
+    info = store.status()
+    print(f"store: {info['path']}", file=stream)
+    print(f"cells: {info['cells']}", file=stream)
+    if info["by_scheme"]:
+        rows = [[scheme, count] for scheme, count in info["by_scheme"].items()]
+        print(file=stream)
+        print(format_table(["scheme", "cells"], rows), file=stream)
+    if info["by_workload"]:
+        rows = [[workload, count] for workload, count in info["by_workload"].items()]
+        print(file=stream)
+        print(format_table(["workload", "cells"], rows), file=stream)
+    if args.spec:
+        spec = load_spec_file(args.spec)
+        pending = sum(1 for cell in spec.cells() if cell.key() not in store)
+        print(file=stream)
+        print(f"spec '{spec.name}': {spec.num_cells} cells, {pending} pending", file=stream)
+    return 0
+
+
+def cmd_export(args: argparse.Namespace, stream) -> int:
+    store = ResultStore(args.store, create=False)
+    exporter = export_csv if args.format == "csv" else export_json
+    if args.output:
+        with open(args.output, "w", encoding="utf-8", newline="") as handle:
+            exporter(store, handle)
+        print(f"wrote {len(store)} rows to {args.output}", file=stream)
+    else:
+        stream.write(exporter(store))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, stream=None) -> int:
+    stream = stream if stream is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return cmd_run(args, stream)
+        if args.command == "status":
+            return cmd_status(args, stream)
+        return cmd_export(args, stream)
+    except (ValueError, OSError) as exc:
+        # Spec/config validation raises loudly (bad scheme, warmup out of
+        # range, unreadable spec file); surface it as a CLI error, not a
+        # traceback.  Per-cell simulation errors never get here — the
+        # executor captures those and cmd_run reports them.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Campaign driver: expand, skip what the store already has, run the rest.
+
+:func:`run_campaign` is the subsystem's main entry point.  It is resumable
+by construction: every cell's content-hashed key is checked against the
+store first, so re-running a campaign against the same store directory
+re-simulates nothing that already completed — including after a crash or a
+Ctrl-C halfway through the matrix, and including cells another campaign
+happened to share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.campaign.executor import (
+    CellOutcome,
+    ParallelExecutor,
+    ProgressFn,
+    SerialExecutor,
+)
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one :func:`run_campaign` invocation."""
+
+    spec: CampaignSpec
+    outcomes: List[CellOutcome] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def simulated(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if o.ok and not o.from_store]
+
+    @property
+    def skipped(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if o.from_store]
+
+    @property
+    def errors(self) -> List[CellOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "total": self.total,
+            "simulated": len(self.simulated),
+            "from_store": len(self.skipped),
+            "errors": len(self.errors),
+        }
+
+    def results(self) -> Dict:
+        """(label, workload, seed) -> SimulationResults for successful cells.
+
+        Raises if two cells share a (label, workload, seed) triple — e.g. a
+        grid swept over ``page_sizes`` with one scheme label — because the
+        mapping would silently drop data.  Give swept points distinct labels
+        (as ``examples/design_space.py`` does) or iterate ``outcomes``.
+        """
+        mapping: Dict = {}
+        for outcome in self.outcomes:
+            if not outcome.ok:
+                continue
+            key = (outcome.cell.label, outcome.cell.workload, outcome.cell.seed)
+            if key in mapping:
+                raise ValueError(
+                    f"multiple cells share label/workload/seed {key}; use distinct "
+                    "scheme labels per sweep point or iterate report.outcomes"
+                )
+            mapping[key] = outcome.result
+        return mapping
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: Optional[ResultStore] = None,
+    workers: int = 1,
+    progress: Optional[ProgressFn] = None,
+    force: bool = False,
+) -> CampaignReport:
+    """Run (or resume) a campaign.
+
+    Args:
+        spec: the campaign to run.
+        store: persistent store to resume from and record into; ``None``
+            keeps everything in memory (nothing is skipped or persisted).
+        workers: >1 fans pending cells out over that many processes.
+        progress: callback ``(done, total, outcome)``; store hits are
+            reported first, then live cells as they complete.
+        force: re-simulate even cells the store already holds (the fresh
+            result overwrites the stored one).
+
+    Cells that expand to the same content key (an axis value equal to the
+    preset default, or overlapping grids) are simulated once; the extra
+    cells share the result and are reported as store hits.
+    """
+    cells = spec.cells()
+    total = len(cells)
+    outcomes_by_index: Dict[int, CellOutcome] = {}
+    pending: List[int] = []
+    first_pending_by_key: Dict[str, int] = {}
+    duplicates: List[int] = []
+    done = 0
+
+    keys = [cell.key() for cell in cells]
+    for index, cell in enumerate(cells):
+        key = keys[index]
+        stored = store.get(key) if (store is not None and not force) else None
+        if stored is not None:
+            outcome = CellOutcome(cell, key, stored, from_store=True)
+            outcomes_by_index[index] = outcome
+            done += 1
+            if progress is not None:
+                progress(done, total, outcome)
+        elif key in first_pending_by_key:
+            # Two sweep points expanded to the same content key (e.g. an axis
+            # value equal to the preset default): simulate once, share the
+            # result.
+            duplicates.append(index)
+        else:
+            first_pending_by_key[key] = index
+            pending.append(index)
+
+    executor = ParallelExecutor(workers) if workers > 1 else SerialExecutor()
+
+    def on_progress(_done: int, _total: int, outcome: CellOutcome) -> None:
+        nonlocal done
+        done += 1
+        # Persist as each cell completes (not after the batch) so a crash or
+        # Ctrl-C mid-campaign loses at most the in-flight cells.
+        if store is not None and outcome.ok:
+            store.put(outcome.key, outcome.result, meta=outcome.cell.meta())
+        if progress is not None:
+            progress(done, total, outcome)
+
+    executed = executor.run([cells[i] for i in pending], progress=on_progress)
+    if len(executed) != len(pending):
+        raise RuntimeError(
+            f"executor returned {len(executed)} outcomes for {len(pending)} cells"
+        )
+    for index, outcome in zip(pending, executed):
+        outcomes_by_index[index] = outcome
+    for index in duplicates:
+        cell = cells[index]
+        key = keys[index]
+        source = outcomes_by_index.get(first_pending_by_key[key])
+        if source is None:
+            continue
+        outcome = CellOutcome(cell, key, source.result, error=source.error, from_store=source.ok)
+        outcomes_by_index[index] = outcome
+        done += 1
+        if progress is not None:
+            progress(done, total, outcome)
+
+    report = CampaignReport(spec=spec)
+    report.outcomes = [outcomes_by_index[i] for i in range(total) if i in outcomes_by_index]
+    return report

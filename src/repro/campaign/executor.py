@@ -1,0 +1,121 @@
+"""Cell executors: serial reference path and multiprocessing fan-out.
+
+Both executors take a list of :class:`~repro.campaign.spec.CampaignCell`
+and return one :class:`CellOutcome` per cell, in input order.  A cell that
+raises is captured as an error outcome instead of aborting the campaign, so
+one bad configuration cannot sink a thousand-cell overnight run.
+
+Determinism: workloads are rebuilt inside each worker from (name, seed,
+scale, page_size), and the simulator is seeded from the cell alone, so the
+parallel path produces results bit-identical to the serial path (modulo
+``wall_time_seconds``, which measures the host).  Results cross the process
+boundary as ``SimulationResults.to_dict()`` payloads via pickle, which
+preserves floats exactly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.campaign.spec import CampaignCell
+from repro.experiments.runner import run_simulation
+from repro.sim.results import SimulationResults
+
+#: progress callback: (completed_count, total_count, outcome)
+ProgressFn = Callable[[int, int, "CellOutcome"], None]
+
+
+@dataclass
+class CellOutcome:
+    """What happened to one cell: a result, a stored hit, or an error."""
+
+    cell: CampaignCell
+    key: str
+    result: Optional[SimulationResults]
+    error: Optional[str] = None
+    wall_seconds: float = 0.0
+    from_store: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+def execute_cell(cell: CampaignCell) -> CellOutcome:
+    """Run one cell, capturing any exception as an error outcome."""
+    start = time.perf_counter()
+    try:
+        result = run_simulation(
+            cell.config,
+            workload_name=cell.workload,
+            records_per_core=cell.records_per_core,
+            scale=cell.scale,
+            seed=cell.seed,
+            page_size=cell.page_size,
+            warmup_fraction=cell.warmup_fraction,
+        )
+        return CellOutcome(cell, cell.key(), result, wall_seconds=time.perf_counter() - start)
+    except Exception as exc:  # noqa: BLE001 — per-cell isolation is the point
+        detail = traceback.format_exc(limit=8)
+        error = f"{type(exc).__name__}: {exc}\n{detail}"
+        return CellOutcome(cell, cell.key(), None, error=error,
+                           wall_seconds=time.perf_counter() - start)
+
+
+def _worker(payload: Tuple[int, CampaignCell]) -> Tuple[int, str, Optional[dict], Optional[str], float]:
+    """Pool worker: returns the result as a plain dict so transport is explicit."""
+    index, cell = payload
+    outcome = execute_cell(cell)
+    result_dict = outcome.result.to_dict() if outcome.result is not None else None
+    return (index, outcome.key, result_dict, outcome.error, outcome.wall_seconds)
+
+
+class SerialExecutor:
+    """Run cells one after another in this process (the reference path)."""
+
+    def run(self, cells: Sequence[CampaignCell], progress: Optional[ProgressFn] = None) -> List[CellOutcome]:
+        outcomes: List[CellOutcome] = []
+        for index, cell in enumerate(cells):
+            outcome = execute_cell(cell)
+            outcomes.append(outcome)
+            if progress is not None:
+                progress(index + 1, len(cells), outcome)
+        return outcomes
+
+
+class ParallelExecutor:
+    """Fan cells out across worker processes with ``multiprocessing.Pool``.
+
+    Args:
+        workers: process count (default: ``os.cpu_count()`` via Pool).
+        mp_start_method: ``"fork"`` / ``"spawn"`` / ``"forkserver"``; ``None``
+            uses the platform default.
+    """
+
+    def __init__(self, workers: Optional[int] = None, mp_start_method: Optional[str] = None) -> None:
+        if workers is not None and workers <= 0:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self.mp_start_method = mp_start_method
+
+    def run(self, cells: Sequence[CampaignCell], progress: Optional[ProgressFn] = None) -> List[CellOutcome]:
+        if not cells:
+            return []
+        context = multiprocessing.get_context(self.mp_start_method)
+        outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
+        payloads = list(enumerate(cells))
+        done = 0
+        with context.Pool(processes=self.workers) as pool:
+            for index, key, result_dict, error, wall in pool.imap_unordered(_worker, payloads, chunksize=1):
+                cell = cells[index]
+                result = SimulationResults.from_dict(result_dict) if result_dict is not None else None
+                outcome = CellOutcome(cell, key, result, error=error, wall_seconds=wall)
+                outcomes[index] = outcome
+                done += 1
+                if progress is not None:
+                    progress(done, len(cells), outcome)
+        return [outcome for outcome in outcomes if outcome is not None]

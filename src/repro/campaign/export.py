@@ -1,0 +1,80 @@
+"""Exporters: turn a result store into CSV / JSON tables.
+
+Follows the raw-results -> CSV -> figures pipeline shape of reproduction
+harnesses: campaigns append raw JSONL records, and these helpers project
+them onto flat rows (sweep coordinates + headline metrics) that plotting
+or spreadsheet tooling can consume without touching the simulator.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.campaign.store import ResultStore
+from repro.sim.results import SimulationResults
+
+#: Column order for exports: sweep coordinates first, then metrics.
+EXPORT_COLUMNS: Sequence[str] = (
+    "label",
+    "scheme",
+    "workload",
+    "seed",
+    "records_per_core",
+    "scale",
+    "warmup_fraction",
+    "num_cores",
+    "page_size",
+    "cache_size",
+    "replacement_policy",
+    "sampling_coefficient",
+    "instructions",
+    "cycles",
+    "ipc",
+    "miss_rate",
+    "mpki",
+    "in_bpi",
+    "off_bpi",
+    "wall_time_seconds",
+    "key",
+)
+
+
+def result_rows(store: ResultStore) -> List[Dict]:
+    """One flat dict per stored cell, ordered by insertion."""
+    rows: List[Dict] = []
+    for record in store.records():
+        result = SimulationResults.from_dict(record["result"])
+        row = dict(record.get("meta", {}))
+        summary = result.summary()
+        # meta's sweep coordinates win over summary's workload/scheme echo.
+        for column, value in summary.items():
+            row.setdefault(column, value)
+        row["wall_time_seconds"] = round(result.wall_time_seconds, 3)
+        row["key"] = record["key"]
+        rows.append(row)
+    return rows
+
+
+def export_csv(store: ResultStore, output=None) -> str:
+    """Write the store as CSV; returns the text (and writes to ``output`` file object if given)."""
+    rows = result_rows(store)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(EXPORT_COLUMNS), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    text = buffer.getvalue()
+    if output is not None:
+        output.write(text)
+    return text
+
+
+def export_json(store: ResultStore, output=None, indent: Optional[int] = 2) -> str:
+    """Write the store as a JSON array of flat rows (newline-terminated)."""
+    text = json.dumps(result_rows(store), indent=indent, sort_keys=True) + "\n"
+    if output is not None:
+        output.write(text)
+    return text

@@ -1,0 +1,122 @@
+"""Persistent, append-only result store.
+
+The store is a directory holding one ``results.jsonl`` file.  Each line is a
+self-contained JSON record::
+
+    {"key": <sha256>, "meta": {...sweep coordinates...}, "result": {...}}
+
+Keys are content hashes produced by
+:func:`repro.experiments.runner.simulation_cell_key` — they cover the full
+system configuration plus workload identity, so two campaigns (or a campaign
+and a figure function) that describe the same simulation share the same key
+and the second one is served from disk.
+
+Append-only JSONL keeps writes crash-safe: an interrupted campaign loses at
+most its in-flight line (truncated trailing lines are skipped on load), and
+everything already written survives for the next ``run`` to resume from.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from repro.sim.results import SimulationResults
+
+RESULTS_FILENAME = "results.jsonl"
+
+
+class ResultStore:
+    """On-disk simulation-result store backing campaigns and figure caches."""
+
+    def __init__(self, directory, create: bool = True) -> None:
+        """Open (and by default create) the store at ``directory``.
+
+        ``create=False`` opens an existing store only — read-only consumers
+        (``status``/``export``) use it so a mistyped path errors instead of
+        silently materialising an empty store.
+        """
+        self.directory = Path(directory)
+        if create:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        elif not self.directory.is_dir():
+            raise ValueError(f"no result store at {self.directory}")
+        self.path = self.directory / RESULTS_FILENAME
+        self._index: Dict[str, Dict] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A crash mid-append leaves at most one truncated line;
+                    # everything before it is intact.
+                    continue
+                if isinstance(record, dict) and "key" in record and "result" in record:
+                    self._index[record["key"]] = record
+
+    # ------------------------------------------------------------------ lookups
+
+    def get(self, key: str) -> Optional[SimulationResults]:
+        """The stored result for ``key``, or ``None``."""
+        record = self._index.get(key)
+        if record is None:
+            return None
+        return SimulationResults.from_dict(record["result"])
+
+    def get_record(self, key: str) -> Optional[Dict]:
+        """The raw stored record (key/meta/result) for ``key``, or ``None``."""
+        return self._index.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._index
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def keys(self) -> List[str]:
+        return list(self._index)
+
+    def records(self) -> Iterator[Dict]:
+        """All stored records, in insertion order."""
+        return iter(self._index.values())
+
+    # ------------------------------------------------------------------ writes
+
+    def put(self, key: str, result: SimulationResults, meta: Optional[Dict] = None) -> None:
+        """Persist ``result`` under ``key`` (last write wins on re-put)."""
+        record = {"key": key, "meta": meta or {}, "result": result.to_dict()}
+        line = json.dumps(record, sort_keys=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._index[key] = record
+
+    # ------------------------------------------------------------------ reporting
+
+    def status(self) -> Dict:
+        """Aggregate counts for the ``status`` CLI subcommand."""
+        by_scheme: Dict[str, int] = {}
+        by_workload: Dict[str, int] = {}
+        for record in self._index.values():
+            meta = record.get("meta", {})
+            scheme = meta.get("label") or meta.get("scheme") or "?"
+            workload = meta.get("workload") or "?"
+            by_scheme[scheme] = by_scheme.get(scheme, 0) + 1
+            by_workload[workload] = by_workload.get(workload, 0) + 1
+        return {
+            "path": str(self.path),
+            "cells": len(self._index),
+            "by_scheme": dict(sorted(by_scheme.items())),
+            "by_workload": dict(sorted(by_workload.items())),
+        }

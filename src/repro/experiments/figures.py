@@ -26,7 +26,7 @@ from repro.experiments.defaults import (
     bench_records_per_core,
     scale_in_package,
 )
-from repro.experiments.runner import GLOBAL_CACHE, ResultCache, run_simulation
+from repro.experiments.runner import ResultCache, resolve_cache, run_simulation
 from repro.sim.config import MB, SystemConfig
 from repro.sim.results import SimulationResults, geometric_mean
 from repro.workloads.registry import EVALUATION_WORKLOADS, GRAPH_WORKLOADS
@@ -39,11 +39,19 @@ def _defaults(
     cache: Optional[ResultCache],
     default_workloads: Sequence[str],
     records_fraction: float = 1.0,
+    store=None,
 ) -> Tuple[Sequence[str], int, int, ResultCache]:
+    """Resolve the shared figure-function arguments.
+
+    ``store`` is an optional persistent :class:`repro.campaign.store.ResultStore`;
+    when given (and no explicit ``cache``), simulations are read from and
+    written through it, so a figure whose matrix a campaign already ran is
+    rebuilt without re-simulating (see :func:`repro.experiments.runner.resolve_cache`).
+    """
     resolved_workloads = list(workloads) if workloads is not None else list(default_workloads)
     resolved_records = records_per_core if records_per_core is not None else bench_records_per_core(records_fraction)
     resolved_cores = num_cores if num_cores is not None else BENCH_NUM_CORES
-    resolved_cache = cache if cache is not None else GLOBAL_CACHE
+    resolved_cache = resolve_cache(cache, store)
     return resolved_workloads, resolved_records, resolved_cores, resolved_cache
 
 
@@ -69,9 +77,10 @@ def figure4_speedup(
     num_cores: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     schemes: Sequence[Tuple[str, str, Dict]] = tuple(FIGURE4_SCHEMES),
+    store=None,
 ) -> Dict:
     """Figure 4: speedup normalised to NoCache, plus MPKI, per workload."""
-    workloads, records, cores, cache = _defaults(workloads, records_per_core, num_cores, cache, EVALUATION_WORKLOADS)
+    workloads, records, cores, cache = _defaults(workloads, records_per_core, num_cores, cache, EVALUATION_WORKLOADS, store=store)
     rows: List[Dict] = []
     speedups: Dict[str, List[float]] = {label: [] for label, _scheme, _ov in schemes}
     for workload in workloads:
@@ -112,9 +121,10 @@ def figure5_in_package_traffic(
     num_cores: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     schemes: Sequence[Tuple[str, str, Dict]] = tuple(FIGURE4_SCHEMES),
+    store=None,
 ) -> Dict:
     """Figure 5: in-package DRAM traffic breakdown, bytes per instruction."""
-    workloads, records, cores, cache = _defaults(workloads, records_per_core, num_cores, cache, EVALUATION_WORKLOADS)
+    workloads, records, cores, cache = _defaults(workloads, records_per_core, num_cores, cache, EVALUATION_WORKLOADS, store=store)
     cache_schemes = [entry for entry in schemes if entry[1] not in ("cacheonly",)]
     rows: List[Dict] = []
     totals: Dict[str, List[float]] = {label: [] for label, _s, _o in cache_schemes}
@@ -153,9 +163,10 @@ def figure6_off_package_traffic(
     num_cores: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     schemes: Sequence[Tuple[str, str, Dict]] = tuple(FIGURE4_SCHEMES),
+    store=None,
 ) -> Dict:
     """Figure 6: off-package DRAM traffic, bytes per instruction."""
-    workloads, records, cores, cache = _defaults(workloads, records_per_core, num_cores, cache, EVALUATION_WORKLOADS)
+    workloads, records, cores, cache = _defaults(workloads, records_per_core, num_cores, cache, EVALUATION_WORKLOADS, store=store)
     cache_schemes = [entry for entry in schemes if entry[1] not in ("cacheonly",)]
     rows: List[Dict] = []
     totals: Dict[str, List[float]] = {label: [] for label, _s, _o in cache_schemes}
@@ -181,10 +192,11 @@ def figure7_replacement_policies(
     records_per_core: Optional[int] = None,
     num_cores: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    store=None,
 ) -> Dict:
     """Figure 7: Banshee replacement-policy ablation vs TDC."""
     workloads, records, cores, cache = _defaults(
-        workloads, records_per_core, num_cores, cache, SWEEP_WORKLOADS, records_fraction=0.7
+        workloads, records_per_core, num_cores, cache, SWEEP_WORKLOADS, records_fraction=0.7, store=store
     )
     policies = [
         ("Banshee LRU", "banshee", {"banshee_policy": "lru"}),
@@ -224,10 +236,11 @@ def table5_pte_update_cost(
     num_cores: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     costs_us: Sequence[float] = (10.0, 20.0, 40.0),
+    store=None,
 ) -> Dict:
     """Table 5: performance loss vs free PTE updates for several update costs."""
     workloads, records, cores, cache = _defaults(
-        workloads, records_per_core, num_cores, cache, SWEEP_WORKLOADS, records_fraction=0.7
+        workloads, records_per_core, num_cores, cache, SWEEP_WORKLOADS, records_fraction=0.7, store=store
     )
     free_results = {
         workload: _run("banshee", workload, records, cores, cache, tag_buffer_flush_cost_us=0.0,
@@ -264,10 +277,11 @@ def figure8_latency_bandwidth(
     records_per_core: Optional[int] = None,
     num_cores: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    store=None,
 ) -> Dict:
     """Figure 8: sweep in-package DRAM latency and bandwidth."""
     workloads, records, cores, cache = _defaults(
-        workloads, records_per_core, num_cores, cache, SWEEP_WORKLOADS, records_fraction=0.5
+        workloads, records_per_core, num_cores, cache, SWEEP_WORKLOADS, records_fraction=0.5, store=store
     )
     schemes = [("Banshee", "banshee", {}), ("Alloy", "alloy", {}), ("TDC", "tdc", {}), ("Unison", "unison", {})]
     latency_points = [("100%", 1.0), ("66%", 0.66), ("50%", 0.5)]
@@ -316,10 +330,11 @@ def figure9_sampling(
     num_cores: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     coefficients: Sequence[float] = (1.0, 0.1, 0.01),
+    store=None,
 ) -> Dict:
     """Figure 9: miss rate and DRAM-cache traffic vs sampling coefficient."""
     workloads, records, cores, cache = _defaults(
-        workloads, records_per_core, num_cores, cache, SWEEP_WORKLOADS, records_fraction=0.7
+        workloads, records_per_core, num_cores, cache, SWEEP_WORKLOADS, records_fraction=0.7, store=store
     )
     rows: List[Dict] = []
     for coefficient in coefficients:
@@ -357,10 +372,11 @@ def table6_associativity(
     num_cores: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     ways: Sequence[int] = (1, 2, 4, 8),
+    store=None,
 ) -> Dict:
     """Table 6: DRAM-cache miss rate vs associativity for Banshee."""
     workloads, records, cores, cache = _defaults(
-        workloads, records_per_core, num_cores, cache, SWEEP_WORKLOADS, records_fraction=0.7
+        workloads, records_per_core, num_cores, cache, SWEEP_WORKLOADS, records_fraction=0.7, store=store
     )
     rows: List[Dict] = []
     for num_ways in ways:
@@ -384,6 +400,7 @@ def table1_behavior(
     records_per_core: Optional[int] = None,
     num_cores: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    store=None,
 ) -> Dict:
     """Table 1: qualitative per-scheme behaviour, measured on one workload.
 
@@ -391,7 +408,7 @@ def table1_behavior(
     and replacement traffic shares, and whether replacement happens on every
     miss — the quantities Table 1 of the paper describes symbolically.
     """
-    _w, records, cores, cache = _defaults(None, records_per_core, num_cores, cache, [workload], records_fraction=0.5)
+    _w, records, cores, cache = _defaults(None, records_per_core, num_cores, cache, [workload], records_fraction=0.5, store=store)
     schemes = [
         ("Unison", "unison", {}),
         ("Alloy", "alloy", {}),
@@ -433,10 +450,11 @@ def extension_large_pages(
     records_per_core: Optional[int] = None,
     num_cores: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    store=None,
 ) -> Dict:
     """Section 5.4.1: Banshee with 2 MB pages vs 4 KB pages on graph workloads."""
     workloads, records, cores, cache = _defaults(
-        workloads, records_per_core, num_cores, cache, GRAPH_WORKLOADS, records_fraction=0.5
+        workloads, records_per_core, num_cores, cache, GRAPH_WORKLOADS, records_fraction=0.5, store=store
     )
     capacity = 64 * MB  # enlarge the cache so that whole 2 MB pages are cacheable
     rows: List[Dict] = []
@@ -485,10 +503,11 @@ def extension_bandwidth_balance(
     records_per_core: Optional[int] = None,
     num_cores: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    store=None,
 ) -> Dict:
     """Section 5.4.2: BATMAN-style bandwidth balancing on Alloy and Banshee."""
     workloads, records, cores, cache = _defaults(
-        workloads, records_per_core, num_cores, cache, SWEEP_WORKLOADS, records_fraction=0.5
+        workloads, records_per_core, num_cores, cache, SWEEP_WORKLOADS, records_fraction=0.5, store=store
     )
     rows: List[Dict] = []
     summary: Dict[str, float] = {}

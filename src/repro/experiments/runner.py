@@ -5,14 +5,21 @@ speedup, in-package-traffic and off-package-traffic figures all come from one
 workload x scheme matrix).  :class:`ResultCache` memoises results within one
 process so that the benchmark modules can each rebuild their figure without
 re-running shared simulations.
+
+A cache can additionally be backed by a persistent
+:class:`repro.campaign.store.ResultStore` (any object supporting ``get(key)``,
+``put(key, result)`` and ``in``), in which case results survive the process: lookups
+fall through to the store and fresh results are written through to it.  Both
+layers share the :func:`simulation_cell_key` keyspace, so figures can be
+rebuilt from a campaign's store without re-simulating anything.
 """
 
 from __future__ import annotations
 
-import json
+import hashlib
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.sim.config import SystemConfig
+from repro.sim.config import SystemConfig, canonical_json, config_hash
 from repro.sim.engine import SimulationEngine
 from repro.sim.results import SimulationResults
 from repro.sim.system import System
@@ -20,32 +27,123 @@ from repro.workloads.base import Workload
 from repro.workloads.registry import get_workload
 
 
-def _config_key(config: SystemConfig) -> str:
-    return json.dumps(config.to_dict(), sort_keys=True, default=str)
+#: Fraction of each core's trace used to warm the caches before measurement.
+DEFAULT_WARMUP_FRACTION = 0.5
+
+
+def simulation_cell_key(
+    config: SystemConfig,
+    workload_name: str,
+    records_per_core: int,
+    scale: float,
+    seed: int,
+    warmup_fraction: float,
+    page_size: Optional[int] = None,
+) -> str:
+    """Content-hashed identity of one simulation cell.
+
+    The key covers everything that determines a simulation's outcome: the
+    full configuration (via :func:`repro.sim.config.config_hash`), the
+    workload name and its build parameters (``scale``, ``seed``,
+    ``page_size``), the trace length and the warmup fraction.  It is stable
+    across processes and interpreter runs, which is what makes the campaign
+    result store resumable.
+    """
+    effective_page_size = page_size if page_size is not None else config.dram_cache.page_size
+    payload = canonical_json(
+        {
+            "config": config_hash(config),
+            "workload": workload_name,
+            "records_per_core": records_per_core,
+            "scale": scale,
+            "seed": seed,
+            "warmup_fraction": warmup_fraction,
+            "page_size": effective_page_size,
+        }
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def simulation_cell_meta(
+    config: SystemConfig,
+    workload_name: str,
+    records_per_core: int,
+    scale: float,
+    seed: int,
+    warmup_fraction: float,
+    page_size: Optional[int] = None,
+    label: Optional[str] = None,
+) -> Dict[str, object]:
+    """The sweep coordinates stored next to a result (store ``meta`` field).
+
+    Keeps store records self-describing — ``status``/``export`` group and
+    label rows from this — whether the result was written by a campaign
+    (which supplies its display ``label``) or by a figure function's
+    write-through cache (which falls back to the scheme name).
+    """
+    dram_cache = config.dram_cache
+    return {
+        "label": label if label is not None else dram_cache.scheme,
+        "scheme": dram_cache.scheme,
+        "workload": workload_name,
+        "seed": seed,
+        "records_per_core": records_per_core,
+        "scale": scale,
+        "warmup_fraction": warmup_fraction,
+        "num_cores": config.num_cores,
+        "page_size": page_size if page_size is not None else dram_cache.page_size,
+        "cache_size": config.in_package_dram.capacity_bytes,
+        "replacement_policy": dram_cache.banshee_policy,
+        "sampling_coefficient": dram_cache.sampling_coefficient,
+        "config_hash": config_hash(config),
+    }
 
 
 class ResultCache:
-    """Memoises simulation results keyed by (config, workload, trace length)."""
+    """Memoises simulation results keyed by (config, workload, trace length).
 
-    def __init__(self) -> None:
+    ``store`` is an optional persistent backing layer sharing the same
+    keyspace: misses fall through to it and fresh results are written back.
+    """
+
+    def __init__(self, store=None) -> None:
         self._results: Dict[str, SimulationResults] = {}
+        self._store = store
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
 
-    def key(self, config: SystemConfig, workload_name: str, records_per_core: int, scale: float, seed: int) -> str:
-        return "|".join(
-            [_config_key(config), workload_name, str(records_per_core), str(scale), str(seed)]
+    def key(
+        self,
+        config: SystemConfig,
+        workload_name: str,
+        records_per_core: int,
+        scale: float,
+        seed: int,
+        warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+        page_size: Optional[int] = None,
+    ) -> str:
+        return simulation_cell_key(
+            config, workload_name, records_per_core, scale, seed, warmup_fraction, page_size
         )
 
     def get(self, key: str) -> Optional[SimulationResults]:
         result = self._results.get(key)
+        if result is None and self._store is not None:
+            result = self._store.get(key)
+            if result is not None:
+                self.store_hits += 1
+                self._results[key] = result
         if result is not None:
             self.hits += 1
+        else:
+            self.misses += 1
         return result
 
-    def put(self, key: str, result: SimulationResults) -> None:
-        self.misses += 1
+    def put(self, key: str, result: SimulationResults, meta: Optional[Dict] = None) -> None:
         self._results[key] = result
+        if self._store is not None and key not in self._store:
+            self._store.put(key, result, meta=meta)
 
     def __len__(self) -> int:
         return len(self._results)
@@ -53,10 +151,6 @@ class ResultCache:
 
 #: Process-wide cache shared by the benchmark modules.
 GLOBAL_CACHE = ResultCache()
-
-
-#: Fraction of each core's trace used to warm the caches before measurement.
-DEFAULT_WARMUP_FRACTION = 0.5
 
 
 def run_simulation(
@@ -94,10 +188,12 @@ def run_simulation(
     if cache is not None:
         key = cache.key(
             config,
-            f"{workload_name}@{effective_page_size}@{warmup_fraction}",
+            workload_name,
             records_per_core,
             scale,
             seed,
+            warmup_fraction=warmup_fraction,
+            page_size=effective_page_size,
         )
         cached = cache.get(key)
         if cached is not None:
@@ -109,8 +205,25 @@ def run_simulation(
     system = System(config, built)
     result = SimulationEngine(system).run(records_per_core, warmup_records_per_core=warmup_records)
     if cache is not None and key is not None:
-        cache.put(key, result)
+        meta = simulation_cell_meta(
+            config, workload_name, records_per_core, scale, seed, warmup_fraction, effective_page_size
+        )
+        cache.put(key, result, meta=meta)
     return result
+
+
+def resolve_cache(cache: Optional[ResultCache], store=None) -> ResultCache:
+    """Pick the cache for a harness entry point.
+
+    An explicit ``cache`` wins.  Otherwise, a persistent ``store`` gets a
+    fresh read/write-through cache so results are served from and saved to
+    disk; with neither, the process-wide :data:`GLOBAL_CACHE` is used.
+    """
+    if cache is not None:
+        return cache
+    if store is not None:
+        return ResultCache(store=store)
+    return GLOBAL_CACHE
 
 
 def run_matrix(
@@ -120,14 +233,17 @@ def run_matrix(
     scale: float = 1.0,
     seed: int = 1,
     cache: Optional[ResultCache] = None,
+    store=None,
 ) -> Dict[Tuple[str, str], SimulationResults]:
     """Run a full (scheme x workload) matrix.
 
     ``schemes`` is an iterable of (label, config) pairs; the label is used as
     the result key so the same scheme can appear twice with different
-    parameters (Alloy 1 vs Alloy 0.1).
+    parameters (Alloy 1 vs Alloy 0.1).  Passing a persistent ``store``
+    (see :class:`repro.campaign.store.ResultStore`) serves already-simulated
+    cells from disk and persists new ones.
     """
-    cache = cache if cache is not None else GLOBAL_CACHE
+    cache = resolve_cache(cache, store)
     results: Dict[Tuple[str, str], SimulationResults] = {}
     for workload_name in workload_names:
         for label, config in schemes:
@@ -149,9 +265,10 @@ def baseline_results(
     scale: float = 1.0,
     seed: int = 1,
     cache: Optional[ResultCache] = None,
+    store=None,
 ) -> Dict[str, SimulationResults]:
     """NoCache results per workload (the normalisation baseline of Figure 4)."""
-    cache = cache if cache is not None else GLOBAL_CACHE
+    cache = resolve_cache(cache, store)
     baseline: Dict[str, SimulationResults] = {}
     for workload_name in workload_names:
         config = config_factory("nocache")

@@ -16,6 +16,8 @@ configuration fails loudly at construction time rather than mid-simulation.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -383,3 +385,24 @@ class SystemConfig:
     def to_dict(self) -> Dict[str, object]:
         """Flatten the configuration into a plain dictionary (for reports)."""
         return dataclasses.asdict(self)
+
+
+def canonical_json(payload: object) -> str:
+    """Serialise ``payload`` to a canonical JSON string.
+
+    Keys are sorted and separators fixed so that equal payloads always
+    produce byte-identical text — the property the persistent result store
+    relies on for its content-addressed keys.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def config_hash(config: "SystemConfig") -> str:
+    """Stable content hash of a configuration.
+
+    Two :class:`SystemConfig` objects with equal field values hash
+    identically across processes and interpreter runs (unlike ``hash()``,
+    which is randomised per process for strings).  Used by the result cache
+    and the campaign result store to key simulations.
+    """
+    return hashlib.sha256(canonical_json(config.to_dict()).encode("utf-8")).hexdigest()

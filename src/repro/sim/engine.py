@@ -45,8 +45,10 @@ class SimulationEngine:
         if max_records_per_core <= 0:
             raise ValueError("max_records_per_core must be positive")
         if not 0 <= warmup_records_per_core < max_records_per_core:
-            if warmup_records_per_core != 0:
-                raise ValueError("warmup_records_per_core must be smaller than max_records_per_core")
+            raise ValueError(
+                f"warmup_records_per_core must be in [0, max_records_per_core), "
+                f"got {warmup_records_per_core} with max_records_per_core={max_records_per_core}"
+            )
         start_time = time.perf_counter()
         system = self.system
         workload = system.workload

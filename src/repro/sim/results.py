@@ -9,8 +9,11 @@ instruction (for the traffic figures).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List
+
+from repro.util.serde import dataclass_from_dict
 
 
 @dataclass
@@ -103,6 +106,40 @@ class SimulationResults:
         if self.cycles <= 0:
             return 0.0
         return baseline.cycles / self.cycles
+
+    # ------------------------------------------------------------------ serialization
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise to a plain dictionary that :meth:`from_dict` round-trips.
+
+        All fields are JSON-native (ints, floats, strings, flat dicts and
+        lists), so ``json.loads(json.dumps(r.to_dict()))`` reconstructs the
+        exact value — Python's JSON float formatting is shortest-round-trip,
+        so cycle counts survive bit-identically.  The campaign result store
+        persists results in this form.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SimulationResults":
+        """Rebuild a results object from :meth:`to_dict` output.
+
+        Unknown keys are rejected loudly (a store written by a newer version
+        should not be silently truncated); missing optional fields fall back
+        to their dataclass defaults so old store files keep loading.
+        """
+        return dataclass_from_dict(cls, payload)
+
+    def identity_dict(self) -> Dict[str, object]:
+        """:meth:`to_dict` minus host-dependent timing (for equality checks).
+
+        ``wall_time_seconds`` measures the simulating host, not the simulated
+        system, so it is excluded when comparing results for determinism
+        (e.g. parallel vs serial campaign execution).
+        """
+        payload = self.to_dict()
+        payload.pop("wall_time_seconds")
+        return payload
 
     def summary(self) -> Dict[str, float]:
         """Compact flat summary (used by reports and EXPERIMENTS.md)."""

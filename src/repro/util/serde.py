@@ -1,0 +1,22 @@
+"""Shared dataclass <-> dict deserialization helper."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Type, TypeVar
+
+T = TypeVar("T")
+
+
+def dataclass_from_dict(cls: Type[T], payload: Dict) -> T:
+    """Construct ``cls`` from a dict, rejecting unknown keys loudly.
+
+    A payload written by a newer code version should fail rather than be
+    silently truncated; missing optional fields still fall back to their
+    dataclass defaults so old serialized forms keep loading.
+    """
+    known = {field.name for field in dataclasses.fields(cls)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(f"unknown {cls.__name__} fields: {sorted(unknown)}")
+    return cls(**payload)

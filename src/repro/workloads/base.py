@@ -16,6 +16,7 @@ Workloads carry two pieces of timing advice for the core model:
 
 from __future__ import annotations
 
+import zlib
 from abc import ABC, abstractmethod
 from typing import Iterator
 
@@ -53,8 +54,16 @@ class Workload(ABC):
         """Yield the trace records for ``core_id``."""
 
     def rng_for_core(self, core_id: int) -> DeterministicRng:
-        """Deterministic RNG stream for one core of this workload."""
-        return DeterministicRng(hash((self.name, self.seed, core_id)) & 0x7FFFFFFF)
+        """Deterministic RNG stream for one core of this workload.
+
+        Seeded with a CRC32 of (name, seed, core_id) rather than ``hash()``:
+        Python's string hash is randomised per interpreter (PYTHONHASHSEED),
+        which would make traces differ between processes and break both the
+        campaign store's resumability contract and spawn-based parallel
+        execution matching the serial path.
+        """
+        token = f"{self.name}|{self.seed}|{core_id}".encode("utf-8")
+        return DeterministicRng(zlib.crc32(token) & 0x7FFFFFFF)
 
     @property
     def footprint_pages(self) -> int:

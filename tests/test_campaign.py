@@ -1,0 +1,363 @@
+"""Tests for the campaign subsystem (spec, store, executors, CLI) and the
+cache/store key identity guarantees."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ParallelExecutor,
+    ResultStore,
+    SerialExecutor,
+    SweepGrid,
+    export_csv,
+    export_json,
+    run_campaign,
+)
+from repro.campaign.cli import main as cli_main
+from repro.experiments.figures import figure4_speedup
+from repro.experiments.runner import ResultCache, run_simulation, simulation_cell_key
+from repro.sim.config import SystemConfig, config_hash
+from repro.sim.results import SimulationResults
+
+RUN = dict(records_per_core=600, num_cores=2, preset="tiny")
+
+
+def tiny_spec(name="t", schemes=("banshee",), workloads=("gcc",), seeds=(1,), **kwargs):
+    params = dict(RUN)
+    params.update(kwargs)
+    return CampaignSpec(
+        name=name,
+        grids=[SweepGrid(schemes=list(schemes), workloads=list(workloads), seeds=list(seeds))],
+        **params,
+    )
+
+
+# ----------------------------------------------------------------- key identity
+
+
+def test_cell_key_sensitive_to_every_run_parameter():
+    config = SystemConfig.tiny()
+    base = simulation_cell_key(config, "gcc", 500, 1.0, 1, 0.5, None)
+    assert simulation_cell_key(config, "gcc", 500, 1.0, 1, 0.5, None) == base
+    # page_size, warmup_fraction, seed and scale must all change the key.
+    assert simulation_cell_key(config, "gcc", 500, 1.0, 1, 0.5, 8192) != base
+    assert simulation_cell_key(config, "gcc", 500, 1.0, 1, 0.25, None) != base
+    assert simulation_cell_key(config, "gcc", 500, 1.0, 2, 0.5, None) != base
+    assert simulation_cell_key(config, "gcc", 500, 0.5, 1, 0.5, None) != base
+    # ... as must the workload, the trace length and the configuration.
+    assert simulation_cell_key(config, "mcf", 500, 1.0, 1, 0.5, None) != base
+    assert simulation_cell_key(config, "gcc", 501, 1.0, 1, 0.5, None) != base
+    other = SystemConfig.tiny(scheme="alloy")
+    assert simulation_cell_key(other, "gcc", 500, 1.0, 1, 0.5, None) != base
+
+
+def test_config_hash_stable_and_content_addressed():
+    assert config_hash(SystemConfig.tiny()) == config_hash(SystemConfig.tiny())
+    assert config_hash(SystemConfig.tiny()) != config_hash(SystemConfig.tiny(scheme="nocache"))
+
+
+def test_prebuilt_workloads_bypass_cache():
+    from repro.workloads.registry import get_workload
+
+    cache = ResultCache()
+    workload = get_workload("gcc", 2, scale=0.05)
+    run_simulation(SystemConfig.tiny(), workload=workload, records_per_core=300, cache=cache)
+    assert len(cache) == 0 and cache.hits == 0 and cache.misses == 0
+
+
+def test_result_cache_counts_misses_on_lookup():
+    cache = ResultCache()
+    assert cache.get("absent") is None
+    assert cache.misses == 1 and cache.hits == 0
+    run_simulation(SystemConfig.tiny(), workload_name="gcc", records_per_core=300, cache=cache)
+    assert cache.misses == 2  # the simulation's own lookup missed too
+    run_simulation(SystemConfig.tiny(), workload_name="gcc", records_per_core=300, cache=cache)
+    assert cache.hits == 1 and cache.misses == 2
+
+
+# ----------------------------------------------------------------- results round trip
+
+
+def test_simulation_results_round_trip_is_exact():
+    result = run_simulation(SystemConfig.tiny(), workload_name="gcc", records_per_core=400)
+    payload = json.loads(json.dumps(result.to_dict()))
+    rebuilt = SimulationResults.from_dict(payload)
+    assert rebuilt == result
+    with pytest.raises(ValueError):
+        SimulationResults.from_dict({**result.to_dict(), "bogus_field": 1})
+
+
+# ----------------------------------------------------------------- spec expansion
+
+
+def test_spec_expands_full_grid_and_round_trips():
+    spec = tiny_spec(schemes=["banshee", "nocache"], workloads=["gcc", "mcf"], seeds=[1, 2])
+    cells = spec.cells()
+    assert len(cells) == 8 == spec.num_cells
+    assert len({cell.key() for cell in cells}) == 8
+    rebuilt = CampaignSpec.from_dict(spec.to_dict())
+    assert [cell.key() for cell in rebuilt.cells()] == [cell.key() for cell in cells]
+
+
+def test_spec_sweep_axes_modify_config():
+    spec = CampaignSpec(
+        name="axes",
+        grids=[SweepGrid(schemes=["banshee"], workloads=["gcc"],
+                         sampling_coefficients=[1.0, 0.01], cache_sizes=[None, 2 * 1024 * 1024])],
+        **RUN,
+    )
+    cells = spec.cells()
+    assert len(cells) == 4
+    assert {cell.config.dram_cache.sampling_coefficient for cell in cells} == {1.0, 0.01}
+    assert {cell.config.in_package_dram.capacity_bytes for cell in cells} == {1024 * 1024, 2 * 1024 * 1024}
+
+
+# ----------------------------------------------------------------- store + resume
+
+
+def test_store_round_trip_and_resume(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    spec = tiny_spec(schemes=["banshee", "nocache"], workloads=["gcc"])
+    first = run_campaign(spec, store=store)
+    assert first.counts() == {"total": 2, "simulated": 2, "from_store": 0, "errors": 0}
+
+    # A fresh store object against the same directory: zero re-simulations.
+    reopened = ResultStore(tmp_path / "store")
+    second = run_campaign(spec, store=reopened)
+    assert second.counts() == {"total": 2, "simulated": 0, "from_store": 2, "errors": 0}
+    for (key_a, result_a), (_key_b, result_b) in zip(
+        sorted(first.results().items()), sorted(second.results().items())
+    ):
+        assert result_a.identity_dict() == result_b.identity_dict(), key_a
+
+
+def test_store_skips_truncated_trailing_line(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    result = run_simulation(SystemConfig.tiny(), workload_name="gcc", records_per_core=300)
+    store.put("k1", result, meta={"workload": "gcc"})
+    with store.path.open("a", encoding="utf-8") as handle:
+        handle.write('{"key": "k2", "result": {"trunc')  # simulated crash mid-append
+    reopened = ResultStore(tmp_path / "store")
+    assert len(reopened) == 1 and reopened.get("k1") == result
+
+
+def test_results_persist_per_cell_not_per_batch(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    spec = tiny_spec(schemes=["banshee", "nocache"], workloads=["gcc"])
+
+    def explode_after_first(done, total, outcome):
+        raise RuntimeError("interrupted mid-campaign")
+
+    with pytest.raises(RuntimeError):
+        run_campaign(spec, store=store, progress=explode_after_first)
+    # The first completed cell was persisted before the interruption...
+    reopened = ResultStore(tmp_path / "store")
+    assert len(reopened) == 1
+    # ... so the resumed campaign only simulates the remainder.
+    report = run_campaign(spec, store=reopened)
+    assert report.counts() == {"total": 2, "simulated": 1, "from_store": 1, "errors": 0}
+
+
+def test_results_mapping_rejects_ambiguous_labels():
+    spec = CampaignSpec(
+        name="ambiguous",
+        grids=[SweepGrid(schemes=["banshee"], workloads=["gcc"],
+                         sampling_coefficients=[1.0, 0.01])],
+        **RUN,
+    )
+    report = run_campaign(spec)
+    assert report.total == 2
+    with pytest.raises(ValueError, match="distinct"):
+        report.results()
+
+
+def test_num_cores_defaults_to_preset_native_count():
+    assert tiny_spec(num_cores=None).cells()[0].config.num_cores == 2
+    scaled = tiny_spec(num_cores=None, preset="scaled", records_per_core=600)
+    assert scaled.cells()[0].config.num_cores == 4
+    paper = tiny_spec(num_cores=None, preset="paper", records_per_core=600)
+    assert paper.cells()[0].config.num_cores == 16
+    paper4 = tiny_spec(num_cores=4, preset="paper", records_per_core=600)
+    assert paper4.cells()[0].config.num_cores == 4
+
+
+def test_duplicate_key_cells_simulate_once():
+    # ways=4 equals the tiny preset's default, so both sweep points expand
+    # to the same content key; only one simulation should run.
+    spec = CampaignSpec(
+        name="dup",
+        grids=[SweepGrid(schemes=[("ways-4", "banshee", {"ways": 4}), ("default", "banshee", {})],
+                         workloads=["gcc"])],
+        **RUN,
+    )
+    report = run_campaign(spec)
+    assert report.total == 2
+    assert len(report.simulated) == 1 and len(report.skipped) == 1
+    results = list(report.results().values())
+    assert results[0].identity_dict() == results[1].identity_dict()
+
+
+def test_figure_write_through_records_meta(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    cache = ResultCache(store=store)
+    run_simulation(SystemConfig.tiny(), workload_name="gcc", records_per_core=300,
+                   seed=3, cache=cache)
+    record = store.get_record(store.keys()[0])
+    assert record["meta"]["workload"] == "gcc"
+    assert record["meta"]["seed"] == 3
+    assert record["meta"]["scheme"] == "banshee"
+
+
+def test_readonly_store_open_rejects_missing_directory(tmp_path):
+    with pytest.raises(ValueError, match="no result store"):
+        ResultStore(tmp_path / "typo", create=False)
+    code, out = run_cli("status", "--store", str(tmp_path / "typo"))
+    assert code == 2
+    assert not (tmp_path / "typo").exists()
+
+
+def test_parallel_matches_serial_bit_identically():
+    spec = tiny_spec(schemes=["banshee", "alloy"], workloads=["gcc", "mcf"])
+    cells = spec.cells()
+    serial = SerialExecutor().run(cells)
+    parallel = ParallelExecutor(workers=4).run(cells)
+    assert len(serial) == len(parallel) == 4
+    for s, p in zip(serial, parallel):
+        assert s.ok and p.ok
+        assert s.result.identity_dict() == p.result.identity_dict()
+
+
+def test_traces_stable_across_interpreter_hash_seeds():
+    # The store serves results to future processes, so traces must not
+    # depend on PYTHONHASHSEED (regression: workload RNGs were seeded with
+    # the process-randomised hash()).
+    import os
+    import pathlib
+    import subprocess
+    import sys
+
+    src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    code = (
+        "from repro.experiments.runner import run_simulation\n"
+        "from repro.sim.config import SystemConfig\n"
+        "r = run_simulation(SystemConfig.tiny(), workload_name='gcc', records_per_core=300)\n"
+        "print(repr(r.cycles), r.dram_cache_misses)\n"
+    )
+    outputs = {
+        subprocess.check_output(
+            [sys.executable, "-c", code],
+            env={**os.environ, "PYTHONHASHSEED": hash_seed, "PYTHONPATH": src},
+        )
+        for hash_seed in ("1", "2")
+    }
+    assert len(outputs) == 1
+
+
+def test_spawn_parallel_matches_serial():
+    spec = tiny_spec(workloads=["gcc"], records_per_core=300)
+    cells = spec.cells()
+    serial = SerialExecutor().run(cells)
+    spawned = ParallelExecutor(workers=2, mp_start_method="spawn").run(cells)
+    assert serial[0].result.identity_dict() == spawned[0].result.identity_dict()
+
+
+def test_executor_captures_per_cell_errors():
+    spec = tiny_spec(workloads=["gcc"])
+    cell = spec.cells()[0]
+    cell.workload = "no-such-workload"
+    outcomes = SerialExecutor().run([cell])
+    assert not outcomes[0].ok
+    assert "no-such-workload" in outcomes[0].error
+
+
+def test_run_matrix_reads_through_store(tmp_path):
+    from repro.experiments.runner import run_matrix
+
+    store = ResultStore(tmp_path / "store")
+    schemes = [("Banshee", SystemConfig.tiny("banshee"))]
+    first = run_matrix(schemes, ["gcc"], records_per_core=400, store=store)
+    assert len(store) == 1
+    reopened = ResultStore(tmp_path / "store")
+    second = run_matrix(schemes, ["gcc"], records_per_core=400, store=reopened)
+    assert first[("gcc", "Banshee")] == second[("gcc", "Banshee")]
+
+
+# ----------------------------------------------------------------- figures read the store
+
+
+def test_figure_rebuilds_from_campaign_store(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    records, cores = 600, 2
+    spec = CampaignSpec(
+        name="fig4",
+        grids=[SweepGrid(schemes=["nocache", "banshee"], workloads=["gcc"])],
+        records_per_core=records,
+        num_cores=cores,
+        preset="scaled",
+    )
+    report = run_campaign(spec, store=store)
+    assert len(report.simulated) == 2
+
+    cache = ResultCache(store=store)
+    figure = figure4_speedup(workloads=["gcc"], records_per_core=records, num_cores=cores,
+                             cache=cache, schemes=[("Banshee", "banshee", {})])
+    assert cache.store_hits == 2  # baseline + banshee both came from disk
+    assert figure["rows"][0]["speedup"] > 0
+
+
+# ----------------------------------------------------------------- CLI
+
+
+def run_cli(*argv):
+    import io
+
+    stream = io.StringIO()
+    code = cli_main(list(argv), stream=stream)
+    return code, stream.getvalue()
+
+
+def test_cli_run_status_export(tmp_path):
+    store_dir = str(tmp_path / "store")
+    argv = ("run", "--store", store_dir, "--schemes", "banshee", "--workloads", "gcc",
+            "--records", "500", "--cores", "2", "--preset", "tiny", "--quiet")
+    code, out = run_cli(*argv)
+    assert code == 0 and "1 simulated" in out
+
+    code, out = run_cli(*argv)
+    assert code == 0 and "0 simulated" in out and "1 from store" in out
+
+    code, out = run_cli("status", "--store", store_dir)
+    assert code == 0 and "cells: 1" in out
+
+    csv_path = tmp_path / "out.csv"
+    code, out = run_cli("export", "--store", store_dir, "--format", "csv",
+                        "--output", str(csv_path))
+    assert code == 0
+    lines = csv_path.read_text().strip().splitlines()
+    assert len(lines) == 2 and lines[0].startswith("label,scheme,workload,seed")
+
+    code, out = run_cli("export", "--store", store_dir, "--format", "json")
+    assert code == 0 and json.loads(out)[0]["workload"] == "gcc"
+
+
+def test_cli_spec_file_and_status_pending(tmp_path):
+    spec = tiny_spec(name="from-file", schemes=["banshee", "nocache"], workloads=["gcc"])
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec.to_dict()))
+    store_dir = str(tmp_path / "store")
+
+    code, out = run_cli("run", "--store", store_dir, "--spec", str(spec_path),
+                        "--workloads", "gcc", "--quiet")
+    assert code == 0 and "campaign 'from-file': 2 cells" in out
+
+    code, out = run_cli("status", "--store", store_dir, "--spec", str(spec_path))
+    assert code == 0 and "2 cells, 0 pending" in out
+
+
+def test_export_helpers_return_text(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    run_campaign(tiny_spec(), store=store)
+    assert export_csv(store).startswith("label,")
+    assert json.loads(export_json(store))[0]["scheme"] == "banshee"

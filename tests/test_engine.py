@@ -1,0 +1,40 @@
+"""Boundary tests for the engine's run-parameter validation."""
+
+import pytest
+
+from repro.sim.config import SystemConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.system import System
+from repro.workloads.registry import get_workload
+
+
+def make_engine():
+    config = SystemConfig.tiny()
+    workload = get_workload("gcc", config.num_cores, scale=0.05)
+    return SimulationEngine(System(config, workload))
+
+
+def test_rejects_non_positive_records():
+    with pytest.raises(ValueError, match="max_records_per_core"):
+        make_engine().run(0)
+    with pytest.raises(ValueError, match="max_records_per_core"):
+        make_engine().run(-5)
+
+
+def test_rejects_negative_warmup():
+    with pytest.raises(ValueError, match="warmup_records_per_core"):
+        make_engine().run(100, warmup_records_per_core=-1)
+
+
+def test_rejects_warmup_equal_to_records():
+    with pytest.raises(ValueError, match="warmup_records_per_core"):
+        make_engine().run(100, warmup_records_per_core=100)
+    with pytest.raises(ValueError, match="warmup_records_per_core"):
+        make_engine().run(100, warmup_records_per_core=150)
+
+
+def test_accepts_warmup_boundaries():
+    zero = make_engine().run(120, warmup_records_per_core=0)
+    assert zero.instructions > 0
+    almost_all = make_engine().run(120, warmup_records_per_core=119)
+    assert almost_all.cycles > 0
