@@ -13,7 +13,6 @@ all of them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.cache.sram_cache import Eviction, SramCache
@@ -21,9 +20,11 @@ from repro.sim.config import SystemConfig
 from repro.util.rng import DeterministicRng
 
 
-@dataclass
 class HierarchyAccess:
     """Outcome of one access walking the hierarchy.
+
+    A plain ``__slots__`` class (not a dataclass): one of these is produced
+    for every trace record, and the fast path reuses preallocated instances.
 
     Attributes:
         level: "l1", "l2", "l3" or "memory" — the level that served the access.
@@ -32,9 +33,18 @@ class HierarchyAccess:
             become writeback requests to the memory controllers).
     """
 
-    level: str
-    llc_miss: bool
-    writebacks: List[Eviction] = field(default_factory=list)
+    __slots__ = ("level", "llc_miss", "writebacks")
+
+    def __init__(self, level: str, llc_miss: bool, writebacks: Optional[List[Eviction]] = None) -> None:
+        self.level = level
+        self.llc_miss = llc_miss
+        self.writebacks = writebacks if writebacks is not None else []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"HierarchyAccess(level={self.level!r}, llc_miss={self.llc_miss!r}, "
+            f"writebacks={self.writebacks!r})"
+        )
 
 
 class CacheHierarchy:
@@ -51,41 +61,68 @@ class CacheHierarchy:
         ]
         self.l3 = SramCache("l3", config.l3, rng=rng.fork(300))
 
+        # Reused outcome objects for the per-record fast path.  ``_l1_hit``
+        # is returned for every L1 hit (by far the common case) without
+        # touching its always-empty writeback list; ``_scratch`` is reused
+        # for every deeper walk, its writeback list cleared in place.
+        self._l1_hit = HierarchyAccess(level="l1", llc_miss=False, writebacks=[])
+        self._scratch = HierarchyAccess(level="memory", llc_miss=True, writebacks=[])
+
     def access(self, core_id: int, addr: int, is_write: bool) -> HierarchyAccess:
         """Walk the hierarchy for one demand access from ``core_id``."""
         if not 0 <= core_id < self.config.num_cores:
             raise ValueError(f"core_id {core_id} out of range")
-        writebacks: List[Eviction] = []
+        outcome = self.access_reused(core_id, addr, is_write)
+        return HierarchyAccess(
+            level=outcome.level, llc_miss=outcome.llc_miss, writebacks=list(outcome.writebacks)
+        )
 
+    def access_reused(self, core_id: int, addr: int, is_write: bool) -> HierarchyAccess:
+        """Allocation-free :meth:`access` for the per-record hot path.
+
+        The returned :class:`HierarchyAccess` (and its writeback list) is
+        owned by the hierarchy and only valid until the next call; callers
+        must consume it immediately and must not mutate or retain it.
+        ``core_id`` is trusted to be in range.
+        """
         l1 = self.l1[core_id]
-        l1_result = l1.access(addr, is_write)
-        if l1_result.hit:
-            return HierarchyAccess(level="l1", llc_miss=False)
-        if l1_result.eviction is not None and l1_result.eviction.dirty:
+        if l1.access_fast(addr, is_write):
+            return self._l1_hit
+
+        outcome = self._scratch
+        writebacks = outcome.writebacks
+        del writebacks[:]
+        l3 = self.l3
+        if l1.victim_addr is not None and l1.victim_dirty:
             # Dirty L1 victim is absorbed by the L2 (write-back).
-            l2_evict = self.l2[core_id].fill(l1_result.eviction.addr, dirty=True)
-            if l2_evict is not None and l2_evict.dirty:
-                writebacks.extend(self._fill_llc(l2_evict.addr, dirty=True))
+            l2 = self.l2[core_id]
+            l2.fill_fast(l1.victim_addr, dirty=True)
+            if l2.victim_addr is not None and l2.victim_dirty:
+                l3.fill_fast(l2.victim_addr, dirty=True)
+                if l3.victim_addr is not None and l3.victim_dirty:
+                    writebacks.append(Eviction(addr=l3.victim_addr, dirty=True))
 
         l2 = self.l2[core_id]
-        l2_result = l2.access(addr, is_write)
-        if l2_result.eviction is not None and l2_result.eviction.dirty:
-            writebacks.extend(self._fill_llc(l2_result.eviction.addr, dirty=True))
-        if l2_result.hit:
-            return HierarchyAccess(level="l2", llc_miss=False, writebacks=writebacks)
+        l2_hit = l2.access_fast(addr, is_write)
+        if not l2_hit and l2.victim_addr is not None and l2.victim_dirty:
+            l3.fill_fast(l2.victim_addr, dirty=True)
+            if l3.victim_addr is not None and l3.victim_dirty:
+                writebacks.append(Eviction(addr=l3.victim_addr, dirty=True))
+        if l2_hit:
+            outcome.level = "l2"
+            outcome.llc_miss = False
+            return outcome
 
-        l3_result = self.l3.access(addr, is_write)
-        if l3_result.eviction is not None and l3_result.eviction.dirty:
-            writebacks.append(l3_result.eviction)
-        if l3_result.hit:
-            return HierarchyAccess(level="l3", llc_miss=False, writebacks=writebacks)
-        return HierarchyAccess(level="memory", llc_miss=True, writebacks=writebacks)
-
-    def _fill_llc(self, addr: int, dirty: bool) -> List[Eviction]:
-        evicted = self.l3.fill(addr, dirty=dirty)
-        if evicted is not None and evicted.dirty:
-            return [evicted]
-        return []
+        l3_hit = l3.access_fast(addr, is_write)
+        if not l3_hit and l3.victim_addr is not None and l3.victim_dirty:
+            writebacks.append(Eviction(addr=l3.victim_addr, dirty=True))
+        if l3_hit:
+            outcome.level = "l3"
+            outcome.llc_miss = False
+            return outcome
+        outcome.level = "memory"
+        outcome.llc_miss = True
+        return outcome
 
     def flush_page(self, page_addr: int, page_size: int) -> List[Eviction]:
         """Scrub one page from every cache level, returning dirty lines.

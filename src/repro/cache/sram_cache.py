@@ -29,6 +29,8 @@ from repro.util.rng import DeterministicRng
 class Eviction:
     """A line evicted from a cache."""
 
+    __slots__ = ("addr", "dirty")
+
     addr: int
     dirty: bool
 
@@ -36,6 +38,8 @@ class Eviction:
 @dataclass
 class CacheAccessResult:
     """Outcome of one cache access."""
+
+    __slots__ = ("hit", "eviction")
 
     hit: bool
     eviction: Optional[Eviction]
@@ -55,11 +59,23 @@ class SramCache:
         self._set_mask = self.num_sets - 1
         self._sets: List["OrderedDict[int, bool]"] = [OrderedDict() for _ in range(self.num_sets)]
         self._rng = rng if rng is not None else DeterministicRng(0)
+        # Policy flags hoisted out of the per-access path (string comparisons
+        # in ``access``/``_fill`` show up in profiles at trace scale).
+        self._lru = self.policy == "lru"
+        self._random = self.policy == "random"
 
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.dirty_evictions = 0
+
+        # Victim of the most recent ``access_fast``/``fill_fast`` call.
+        # ``victim_addr is None`` means nothing was evicted; ``victim_dirty``
+        # is only meaningful when ``victim_addr`` is set.  Out-parameters
+        # instead of :class:`Eviction` objects keep the fast path
+        # allocation-free.
+        self.victim_addr: Optional[int] = None
+        self.victim_dirty: bool = False
 
     # ------------------------------------------------------------------ address math
 
@@ -76,35 +92,57 @@ class SramCache:
 
     def access(self, addr: int, is_write: bool) -> CacheAccessResult:
         """Access ``addr``; allocate on miss; return hit status and any eviction."""
+        if self.access_fast(addr, is_write):
+            return CacheAccessResult(hit=True, eviction=None)
+        eviction = None
+        if self.victim_addr is not None:
+            eviction = Eviction(addr=self.victim_addr, dirty=self.victim_dirty)
+        return CacheAccessResult(hit=False, eviction=eviction)
+
+    def access_fast(self, addr: int, is_write: bool) -> bool:
+        """Allocation-free :meth:`access`: returns the hit flag.
+
+        On a miss the victim (if any) is exposed via ``victim_addr`` /
+        ``victim_dirty`` instead of an :class:`Eviction`; on a hit the victim
+        fields are left stale and must not be read.  This is what the
+        per-record hot path uses — three of these run per trace record.
+        """
         line = addr >> self._line_bits
         bucket = self._sets[line & self._set_mask]
         if line in bucket:
             self.hits += 1
             if is_write:
                 bucket[line] = True
-            if self.policy == "lru":
+            if self._lru:
                 bucket.move_to_end(line)
-            return CacheAccessResult(hit=True, eviction=None)
+            return True
         self.misses += 1
-        eviction = self._fill(bucket, line, is_write)
-        return CacheAccessResult(hit=False, eviction=eviction)
+        self._fill_fast(bucket, line, is_write)
+        return False
 
     def fill(self, addr: int, dirty: bool = False) -> Optional[Eviction]:
         """Insert ``addr`` without counting a demand access (e.g. writeback fill)."""
+        self.fill_fast(addr, dirty)
+        if self.victim_addr is not None:
+            return Eviction(addr=self.victim_addr, dirty=self.victim_dirty)
+        return None
+
+    def fill_fast(self, addr: int, dirty: bool = False) -> None:
+        """Allocation-free :meth:`fill`; victim reported via ``victim_addr``."""
         line = addr >> self._line_bits
         bucket = self._sets[line & self._set_mask]
         if line in bucket:
             if dirty:
                 bucket[line] = True
-            if self.policy == "lru":
+            if self._lru:
                 bucket.move_to_end(line)
-            return None
-        return self._fill(bucket, line, dirty)
+            self.victim_addr = None
+            return
+        self._fill_fast(bucket, line, dirty)
 
-    def _fill(self, bucket: "OrderedDict[int, bool]", line: int, dirty: bool) -> Optional[Eviction]:
-        eviction: Optional[Eviction] = None
+    def _fill_fast(self, bucket: "OrderedDict[int, bool]", line: int, dirty: bool) -> None:
         if len(bucket) >= self.num_ways:
-            if self.policy == "random":
+            if self._random:
                 keys = list(bucket.keys())
                 victim = keys[self._rng.randint(0, len(keys))]
                 victim_dirty = bucket.pop(victim)
@@ -112,12 +150,14 @@ class SramCache:
                 # LRU keeps recency order, FIFO keeps insertion order; both
                 # evict the oldest entry, i.e. the front of the dict.
                 victim, victim_dirty = bucket.popitem(last=False)
-            eviction = Eviction(addr=victim << self._line_bits, dirty=victim_dirty)
+            self.victim_addr = victim << self._line_bits
+            self.victim_dirty = victim_dirty
             self.evictions += 1
             if victim_dirty:
                 self.dirty_evictions += 1
+        else:
+            self.victim_addr = None
         bucket[line] = dirty
-        return eviction
 
     def invalidate(self, addr: int) -> Optional[Eviction]:
         """Remove ``addr`` if present, returning it as an eviction if dirty."""

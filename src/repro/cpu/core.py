@@ -45,6 +45,14 @@ class CoreModel:
         self.clock: float = 0.0
         self.stats = CoreStats()
         self._pending_stall: float = 0.0
+        # Level latencies hoisted out of the per-access path.  The float
+        # conversions and config attribute chains are invariant, and
+        # ``advance_memory`` runs once per trace record.
+        self._l1_stall = float(config.l1_hit_latency)
+        self._l2_stall = float(config.l2_hit_latency)
+        self._l3_stall = float(config.l3_hit_latency)
+        self._l3_hit_latency = config.l3_hit_latency
+        self._issue_width = config.issue_width
 
     # ------------------------------------------------------------------ timing
 
@@ -52,7 +60,7 @@ class CoreModel:
         """Retire ``instructions`` non-memory instructions."""
         if instructions < 0:
             raise ValueError("instructions must be non-negative")
-        cycles = instructions / self.config.issue_width
+        cycles = instructions / self._issue_width
         self.clock += cycles
         self.stats.instructions += instructions
         self.stats.compute_cycles += cycles
@@ -66,13 +74,13 @@ class CoreModel:
         """
         self.stats.memory_accesses += 1
         if level == "l1":
-            stall = float(self.config.l1_hit_latency)
+            stall = self._l1_stall
         elif level == "l2":
-            stall = float(self.config.l2_hit_latency)
+            stall = self._l2_stall
         elif level == "l3":
-            stall = float(self.config.l3_hit_latency)
+            stall = self._l3_stall
         elif level == "memory":
-            stall = self.config.l3_hit_latency + dram_latency / self.mlp
+            stall = self._l3_hit_latency + dram_latency / self.mlp
         else:
             raise ValueError(f"unknown level {level!r}")
         self.clock += stall

@@ -18,6 +18,8 @@ from repro.dram.timing import DramTiming
 class ChannelAccess:
     """Outcome of a single channel access."""
 
+    __slots__ = ("latency", "queue_delay", "transfer_cycles", "completion_time")
+
     latency: int
     queue_delay: int
     transfer_cycles: int
@@ -62,6 +64,14 @@ class DramChannel:
         self.total_requests = 0
         self._background_backlog = 0
         self._last_row: int = -1
+        # Row-hit threshold hoisted out of the per-access path.
+        self._row_hit_percent = int(row_hit_fraction * 100)
+        # Detail fields of the most recent ``access_latency`` call; the
+        # :class:`ChannelAccess`-returning wrapper reads them back so the
+        # hot path never allocates.
+        self.last_queue_delay = 0
+        self.last_transfer_cycles = 0
+        self.last_completion_time = 0
 
     def _drain_background(self, now: int) -> None:
         """Use any idle time before ``now`` to drain buffered background work."""
@@ -83,6 +93,21 @@ class DramChannel:
             background: True for fills/replacement/writeback traffic that is
                 not on any core's critical path.
         """
+        latency = self.access_latency(now, num_bytes, row=row, background=background)
+        return ChannelAccess(
+            latency=latency,
+            queue_delay=self.last_queue_delay,
+            transfer_cycles=self.last_transfer_cycles,
+            completion_time=self.last_completion_time,
+        )
+
+    def access_latency(self, now: int, num_bytes: int, row: int = -1, background: bool = False) -> int:
+        """Allocation-free :meth:`access`: returns the latency only.
+
+        The queue-delay / transfer / completion details of the call are left
+        in ``last_queue_delay`` / ``last_transfer_cycles`` /
+        ``last_completion_time`` for callers that need them.
+        """
         if now < 0:
             raise ValueError("time must be non-negative")
         transfer = self.timing.transfer_cycles(num_bytes)
@@ -92,12 +117,13 @@ class DramChannel:
         else:
             # Statistical approximation: alternate deterministically around
             # the configured fraction so behaviour stays reproducible.
-            row_hit = (self.total_requests % 100) < int(self.row_hit_fraction * 100)
+            row_hit = (self.total_requests % 100) < self._row_hit_percent
         device_latency = self.timing.access_latency_cycles(row_hit)
 
         self._drain_background(now)
         self.total_busy_cycles += transfer
         self.total_requests += 1
+        self.last_transfer_cycles = transfer
 
         if background:
             self._background_backlog += transfer
@@ -107,24 +133,16 @@ class DramChannel:
                 # back-pressure and delays demand traffic like any transfer.
                 self.busy_until = max(self.busy_until, now) + overflow
                 self._background_backlog = self.background_buffer_cycles
-            return ChannelAccess(
-                latency=device_latency + transfer,
-                queue_delay=0,
-                transfer_cycles=transfer,
-                completion_time=max(now, self.busy_until) + device_latency + transfer,
-            )
+            self.last_queue_delay = 0
+            self.last_completion_time = max(now, self.busy_until) + device_latency + transfer
+            return device_latency + transfer
 
         start = max(now, self.busy_until)
         queue_delay = start - now
-        completion = start + device_latency + transfer
+        self.last_queue_delay = queue_delay
+        self.last_completion_time = start + device_latency + transfer
         self.busy_until = start + transfer
-        latency = queue_delay + device_latency + transfer
-        return ChannelAccess(
-            latency=latency,
-            queue_delay=queue_delay,
-            transfer_cycles=transfer,
-            completion_time=completion,
-        )
+        return queue_delay + device_latency + transfer
 
     @property
     def background_backlog_cycles(self) -> int:

@@ -22,6 +22,8 @@ from repro.sim.stats import TrafficCategory, TrafficStats
 class DramAccessResult:
     """Latency and accounting outcome of one device access."""
 
+    __slots__ = ("latency", "queue_delay", "num_bytes", "channel_id")
+
     latency: int
     queue_delay: int
     num_bytes: int
@@ -49,6 +51,7 @@ class DramDevice:
         self.channels: List[DramChannel] = [
             DramChannel(i, self.timing, row_hit_fraction=row_hit_fraction) for i in range(config.num_channels)
         ]
+        self._num_channels = config.num_channels
         self.traffic = TrafficStats(config.name)
 
     @property
@@ -74,6 +77,20 @@ class DramDevice:
             num_bytes=num_bytes,
             channel_id=channel.channel_id,
         )
+
+    def access_latency(
+        self, now: int, addr: int, num_bytes: int, category: TrafficCategory, background: bool = False
+    ) -> int:
+        """Allocation-free :meth:`access` returning only the latency.
+
+        This is the path the DRAM-cache schemes drive for every LLC miss;
+        it performs the same channel/traffic bookkeeping without building
+        :class:`DramAccessResult`/:class:`ChannelAccess` objects.
+        """
+        channel = self.channels[(addr // self.page_size) % self._num_channels]
+        latency = channel.access_latency(now, num_bytes, row=addr // 8192, background=background)
+        self.traffic.record(category, num_bytes)
+        return latency
 
     def record_only(self, num_bytes: int, category: TrafficCategory) -> None:
         """Record traffic without a timing effect (used for bulk background moves)."""

@@ -44,15 +44,23 @@ class DramTiming:
         bytes_per_dram_cycle = (timing.bus_width_bits // 8) * 2.0 * bandwidth_scale
         self._cycles_per_byte = cpu_cycles_per_dram_cycle / bytes_per_dram_cycle
 
+        # Integer latencies precomputed once: these run for every DRAM access
+        # and the round/int/max dance is pure overhead when repeated.
+        self._row_miss_cycles = max(1, int(round(self._row_miss_latency)))
+        self._row_hit_cycles = max(1, int(round(self._row_hit_latency)))
+        # Transfer-cycle memo: only a handful of distinct payload sizes occur
+        # (line, line+tag, page, metadata), so cache the rounding result.
+        self._transfer_cache: dict = {}
+
     @property
     def row_miss_latency_cycles(self) -> int:
         """Device latency (CPU cycles) for an access that misses the row buffer."""
-        return max(1, int(round(self._row_miss_latency)))
+        return self._row_miss_cycles
 
     @property
     def row_hit_latency_cycles(self) -> int:
         """Device latency (CPU cycles) for an access that hits the row buffer."""
-        return max(1, int(round(self._row_hit_latency)))
+        return self._row_hit_cycles
 
     def transfer_cycles(self, num_bytes: int) -> int:
         """Channel occupancy (CPU cycles) to move ``num_bytes``.
@@ -61,12 +69,18 @@ class DramTiming:
         technology (32 B for HBM-class links), which is exactly why a 64 B
         line plus an 8 B tag costs 96 B on the wire in the paper.
         """
+        cached = self._transfer_cache.get(num_bytes)
+        if cached is not None:
+            return cached
         if num_bytes <= 0:
-            return 0
-        granule = self.config.min_transfer_bytes
-        effective = ((num_bytes + granule - 1) // granule) * granule
-        return max(1, int(round(effective * self._cycles_per_byte)))
+            cycles = 0
+        else:
+            granule = self.config.min_transfer_bytes
+            effective = ((num_bytes + granule - 1) // granule) * granule
+            cycles = max(1, int(round(effective * self._cycles_per_byte)))
+        self._transfer_cache[num_bytes] = cycles
+        return cycles
 
     def access_latency_cycles(self, row_hit: bool) -> int:
         """Device latency component for one access."""
-        return self.row_hit_latency_cycles if row_hit else self.row_miss_latency_cycles
+        return self._row_hit_cycles if row_hit else self._row_miss_cycles

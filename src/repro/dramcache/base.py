@@ -76,6 +76,11 @@ class DramCacheScheme(ABC):
         self.stats = StatsSet(self.name)
         self.line_size = config.cacheline_size
         self.page_size = config.dram_cache.page_size
+        # Bound device-access methods, hoisted once: every LLC miss funnels
+        # through read_in/read_off/background_*, so the repeated
+        # ``self.in_dram.access_latency`` attribute chain is worth removing.
+        self._in_access = self.in_dram.access_latency
+        self._off_access = self.off_dram.access_latency
 
     # ------------------------------------------------------------------ interface
 
@@ -121,19 +126,19 @@ class DramCacheScheme(ABC):
 
     def read_in(self, now: int, addr: int, num_bytes: int, category: TrafficCategory) -> int:
         """Access the in-package DRAM, returning latency."""
-        return self.in_dram.access(now, addr, num_bytes, category).latency
+        return self._in_access(now, addr, num_bytes, category)
 
     def read_off(self, now: int, addr: int, num_bytes: int, category: TrafficCategory) -> int:
         """Access the off-package DRAM, returning latency."""
-        return self.off_dram.access(now, addr, num_bytes, category).latency
+        return self._off_access(now, addr, num_bytes, category)
 
     def background_in(self, now: int, addr: int, num_bytes: int, category: TrafficCategory) -> None:
         """In-package access whose latency is off the critical path."""
-        self.in_dram.access(now, addr, num_bytes, category, background=True)
+        self._in_access(now, addr, num_bytes, category, background=True)
 
     def background_off(self, now: int, addr: int, num_bytes: int, category: TrafficCategory) -> None:
         """Off-package access whose latency is off the critical path."""
-        self.off_dram.access(now, addr, num_bytes, category, background=True)
+        self._off_access(now, addr, num_bytes, category, background=True)
 
     def traffic_summary(self) -> Dict[str, Dict[str, int]]:
         """Per-device traffic breakdown (bytes)."""

@@ -1,0 +1,22 @@
+"""Microbenchmark harness for the per-record hot path.
+
+``python -m repro.perf`` times records/second for a scheme × workload
+matrix and writes the numbers to ``BENCH_hotpath.json`` at the repo root,
+so the simulator's raw-run throughput is tracked as a first-class
+trajectory across PRs (the same way the campaign store tracks result
+trajectories).
+"""
+
+from repro.perf.harness import (
+    DEFAULT_SCHEMES,
+    DEFAULT_WORKLOADS,
+    BenchCell,
+    run_benchmark,
+)
+
+__all__ = [
+    "BenchCell",
+    "DEFAULT_SCHEMES",
+    "DEFAULT_WORKLOADS",
+    "run_benchmark",
+]

@@ -1,0 +1,94 @@
+"""``python -m repro.perf`` — hot-path throughput benchmark.
+
+Times records/second for a scheme × workload matrix and writes
+``BENCH_hotpath.json`` (JSON, see :func:`repro.perf.harness.run_benchmark`
+for the schema) so the throughput trajectory is tracked across PRs.
+
+``--smoke`` runs a tiny record budget — it exists for CI, where the point
+is catching hot-path regressions loudly and cheaply, not producing stable
+absolute numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.perf.harness import (
+    DEFAULT_SCHEMES,
+    DEFAULT_WORKLOADS,
+    BenchCell,
+    run_benchmark,
+    write_report,
+)
+
+SMOKE_RECORDS_PER_CORE = 500
+DEFAULT_OUTPUT = "BENCH_hotpath.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Benchmark per-record simulation throughput (records/sec).",
+    )
+    parser.add_argument("--schemes", nargs="+", default=None,
+                        help=f"schemes to time (default: {' '.join(DEFAULT_SCHEMES)})")
+    parser.add_argument("--workloads", nargs="+", default=None,
+                        help=f"workloads to time (default: {' '.join(DEFAULT_WORKLOADS)})")
+    parser.add_argument("--records", type=int, default=10000,
+                        help="trace records per core per cell (default 10000)")
+    parser.add_argument("--cores", type=int, default=2, help="simulated cores (default 2)")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="workload footprint scale (default 0.1)")
+    parser.add_argument("--seed", type=int, default=1, help="RNG seed (default 1)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repeats per cell; best time is reported (default 3)")
+    parser.add_argument("--preset", choices=["scaled", "tiny", "paper"], default="scaled",
+                        help="system configuration preset (default scaled)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help=f"output JSON path (default {DEFAULT_OUTPUT})")
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"CI smoke mode: {SMOKE_RECORDS_PER_CORE} records/core, 1 repeat")
+    parser.add_argument("--quiet", action="store_true", help="suppress the per-cell table")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    records = args.records
+    repeats = args.repeats
+    if args.smoke:
+        records = min(records, SMOKE_RECORDS_PER_CORE)
+        repeats = 1
+
+    def progress(cell: BenchCell) -> None:
+        if not args.quiet:
+            print(
+                f"{cell.scheme:10s} {cell.workload:10s} "
+                f"{cell.records:>8d} rec  {cell.best_seconds:8.3f} s  "
+                f"{cell.records_per_sec:>12,.0f} rec/s"
+            )
+
+    if not args.quiet:
+        print(f"# hot-path benchmark: {records} records/core, "
+              f"{args.cores} cores, {repeats} repeat(s), preset={args.preset}")
+    payload = run_benchmark(
+        schemes=args.schemes,
+        workloads=args.workloads,
+        records_per_core=records,
+        num_cores=args.cores,
+        scale=args.scale,
+        seed=args.seed,
+        repeats=repeats,
+        preset=args.preset,
+        progress=progress,
+    )
+    write_report(payload, args.output)
+    aggregate = payload["aggregate"]
+    print(
+        f"geomean {aggregate['geomean_records_per_sec']:,.0f} rec/s over "
+        f"{len(payload['cells'])} cells "
+        f"({aggregate['total_records']} records in {aggregate['total_wall_seconds']:.1f} s)"
+    )
+    print(f"wrote {args.output}")
+    return 0

@@ -1,0 +1,176 @@
+"""Hot-path throughput measurement.
+
+One benchmark *cell* is a fresh :class:`~repro.sim.system.System` +
+:class:`~repro.sim.engine.SimulationEngine` driven for a fixed record
+budget; the metric is trace records simulated per wall-clock second.  Each
+cell runs ``repeats`` times and reports the best (minimum-time) repeat —
+the standard way to suppress scheduler noise in microbenchmarks.
+
+The matrix deliberately mixes scheme cost profiles: ``nocache`` is the
+pipeline floor (every LLC miss is a single off-package access), ``alloy``
+and ``unison`` exercise the tag-probe paths, and ``banshee`` exercises the
+tag buffer + frequency-counter machinery.  ``gcc`` is cache-friendly (L1
+hits dominate, stressing the record pipeline itself), ``mcf`` is
+miss-heavy (stressing the controller/scheme/DRAM path), and ``pagerank``
+sits in between.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional
+
+from repro.sim.config import SystemConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.results import geometric_mean
+from repro.sim.system import System
+from repro.workloads.registry import get_workload
+
+#: Default benchmark matrix (see module docstring for the rationale).
+DEFAULT_SCHEMES: List[str] = ["nocache", "alloy", "unison", "banshee"]
+DEFAULT_WORKLOADS: List[str] = ["gcc", "mcf", "pagerank"]
+
+
+@dataclass
+class BenchCell:
+    """Throughput measurement for one scheme × workload cell."""
+
+    scheme: str
+    workload: str
+    records: int
+    repeats: int
+    best_seconds: float
+    records_per_sec: float
+    instructions: int
+    cycles: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+def _build_config(preset: str, scheme: str, num_cores: int, seed: int) -> SystemConfig:
+    if preset == "scaled":
+        return SystemConfig.scaled_default(scheme=scheme, num_cores=num_cores, seed=seed)
+    if preset == "tiny":
+        return SystemConfig.tiny(scheme=scheme, num_cores=num_cores, seed=seed)
+    if preset == "paper":
+        return SystemConfig.paper_default(scheme=scheme)
+    raise ValueError(f"unknown preset {preset!r}; expected scaled, tiny or paper")
+
+
+def run_cell(
+    scheme: str,
+    workload_name: str,
+    records_per_core: int,
+    num_cores: int = 2,
+    scale: float = 0.1,
+    seed: int = 1,
+    repeats: int = 3,
+    preset: str = "scaled",
+) -> BenchCell:
+    """Benchmark one cell; returns the best of ``repeats`` fresh runs.
+
+    Every repeat builds a fresh system so repeats are identical simulations
+    (identical record counts and results) that differ only in wall time.
+    """
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    best_seconds = float("inf")
+    records = 0
+    instructions = 0
+    cycles = 0.0
+    for _ in range(repeats):
+        config = _build_config(preset, scheme, num_cores, seed)
+        workload = get_workload(workload_name, num_cores, scale=scale, seed=seed)
+        engine = SimulationEngine(System(config, workload))
+        start = time.perf_counter()
+        result = engine.run(records_per_core)
+        elapsed = time.perf_counter() - start
+        if elapsed < best_seconds:
+            best_seconds = elapsed
+        records = engine.records_processed
+        instructions = result.instructions
+        cycles = result.cycles
+    return BenchCell(
+        scheme=scheme,
+        workload=workload_name,
+        records=records,
+        repeats=repeats,
+        best_seconds=best_seconds,
+        records_per_sec=records / best_seconds if best_seconds > 0 else 0.0,
+        instructions=instructions,
+        cycles=cycles,
+    )
+
+
+def run_benchmark(
+    schemes: Optional[List[str]] = None,
+    workloads: Optional[List[str]] = None,
+    records_per_core: int = 10000,
+    num_cores: int = 2,
+    scale: float = 0.1,
+    seed: int = 1,
+    repeats: int = 3,
+    preset: str = "scaled",
+    progress=None,
+) -> Dict[str, object]:
+    """Run the full matrix and return the JSON-ready payload.
+
+    Args:
+        progress: optional callback invoked with each finished
+            :class:`BenchCell` (the CLI uses it to print a live table).
+    """
+    schemes = schemes if schemes else list(DEFAULT_SCHEMES)
+    workloads = workloads if workloads else list(DEFAULT_WORKLOADS)
+    cells: List[BenchCell] = []
+    started = time.perf_counter()
+    for scheme in schemes:
+        for workload_name in workloads:
+            cell = run_cell(
+                scheme,
+                workload_name,
+                records_per_core,
+                num_cores=num_cores,
+                scale=scale,
+                seed=seed,
+                repeats=repeats,
+                preset=preset,
+            )
+            cells.append(cell)
+            if progress is not None:
+                progress(cell)
+    total_seconds = time.perf_counter() - started
+    return {
+        "name": "hotpath",
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "params": {
+            "preset": preset,
+            "records_per_core": records_per_core,
+            "num_cores": num_cores,
+            "scale": scale,
+            "seed": seed,
+            "repeats": repeats,
+            "schemes": schemes,
+            "workloads": workloads,
+        },
+        "cells": [cell.to_dict() for cell in cells],
+        "aggregate": {
+            "geomean_records_per_sec": geometric_mean([cell.records_per_sec for cell in cells]),
+            "min_records_per_sec": min((cell.records_per_sec for cell in cells), default=0.0),
+            "total_records": sum(cell.records for cell in cells),
+            "total_wall_seconds": total_seconds,
+        },
+    }
+
+
+def write_report(payload: Dict[str, object], path: str) -> None:
+    """Write the benchmark payload as indented, key-sorted JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")

@@ -23,7 +23,10 @@ class SimulationEngine:
 
     def __init__(self, system: System) -> None:
         self.system = system
+        #: Records processed by the most recent :meth:`run` (reset per run).
         self.records_processed = 0
+        #: Records processed across every :meth:`run` on this engine.
+        self.total_records_processed = 0
 
     def run(
         self,
@@ -62,8 +65,20 @@ class SimulationEngine:
         measurement_started = warmup_records_per_core <= 0
         warmup_threshold = num_cores * warmup_records_per_core
         total_budget = max_total_records if max_total_records is not None else float("inf")
-        while heap and self.records_processed < total_budget:
-            _clock, core_id = heapq.heappop(heap)
+
+        # The per-run counter must start at zero: a reused engine otherwise
+        # trips the warmup threshold immediately and burns the whole
+        # ``max_total_records`` budget before processing a single record.
+        # The cumulative count lives in ``total_records_processed``.
+        self.records_processed = 0
+        processed = 0
+
+        # Hot loop: everything it touches per record is a local.
+        process_record = system.process_record
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        while heap and processed < total_budget:
+            _clock, core_id = heappop(heap)
             if remaining[core_id] <= 0:
                 continue
             try:
@@ -71,15 +86,17 @@ class SimulationEngine:
             except StopIteration:
                 remaining[core_id] = 0
                 continue
-            new_clock = system.process_record(core_id, record)
+            new_clock = process_record(core_id, record)
             remaining[core_id] -= 1
-            self.records_processed += 1
-            if not measurement_started and self.records_processed >= warmup_threshold:
+            processed += 1
+            if not measurement_started and processed >= warmup_threshold:
                 system.begin_measurement()
                 measurement_started = True
             if remaining[core_id] > 0:
-                heapq.heappush(heap, (new_clock, core_id))
+                heappush(heap, (new_clock, core_id))
 
+        self.records_processed = processed
+        self.total_records_processed += processed
         system.finalize()
         elapsed = time.perf_counter() - start_time
         return system.collect_results(wall_time_seconds=elapsed)

@@ -16,7 +16,7 @@ from repro.cache.hierarchy import CacheHierarchy
 from repro.cpu.core import CoreModel
 from repro.cpu.trace import TraceRecord
 from repro.dram.device import DramDevice
-from repro.dramcache.base import OsServices
+from repro.dramcache.base import DramCacheScheme, OsServices
 from repro.dramcache.factory import create_scheme
 from repro.memctrl.controller import MemoryControllerSet
 from repro.memctrl.request import MappingInfo, MemRequest
@@ -101,44 +101,97 @@ class System:
         self.llc_writebacks = 0
         self._baseline = None
 
+        # ---- hot-path state, hoisted out of the per-record loop ----------
+        # Preallocated request/mapping objects, mutated in place per record:
+        # schemes consume requests synchronously inside ``access`` and never
+        # retain them, so reuse is safe and saves two allocations per LLC
+        # miss plus one per writeback.
+        self._mapping = MappingInfo()
+        self._demand_request = MemRequest(
+            addr=0, is_write=False, core_id=0, mapping=self._mapping, page_size=self.page_size
+        )
+        self._wb_request = MemRequest(
+            addr=0, is_write=True, core_id=0, is_writeback=True, page_size=self.page_size
+        )
+        # Invariant lookups: bound methods and config scalars resolved once.
+        self._hierarchy_access = self.hierarchy.access_reused
+        self._controllers_access = self.controllers.access
+        self._page_table_translate = self.page_table.translate
+        self._page_walk_cycles = config.tlb.page_walk_cycles
+        # ``notify_cycle`` is a no-op for every scheme except HMA; skip the
+        # per-record dynamic dispatch entirely when it is not overridden.
+        self._notify_cycle = (
+            self.scheme.notify_cycle
+            if type(self.scheme).notify_cycle is not DramCacheScheme.notify_cycle
+            else None
+        )
+
     # ------------------------------------------------------------------ per-record processing
 
     def process_record(self, core_id: int, record: TraceRecord) -> float:
-        """Process one trace record for ``core_id``; returns the new core clock."""
+        """Process one trace record for ``core_id``; returns the new core clock.
+
+        This is the simulator's innermost loop — one call per trace record —
+        so the translate / hierarchy-walk / timing steps are inlined against
+        preallocated objects rather than composed from the public per-call
+        APIs (which remain for tests and non-hot callers).  The arithmetic is
+        identical to the composed path, so results stay bit-identical.
+        """
         core = self.cores[core_id]
-        core.apply_pending_stalls()
-        core.advance_compute(record.gap)
+        if core._pending_stall > 0.0:
+            core.apply_pending_stalls()
 
-        mapping = self._translate(core_id, record.addr, core)
-        outcome = self.hierarchy.access(core_id, record.addr, record.is_write)
+        # Compute phase (CoreModel.advance_compute, inlined).
+        gap = record.gap
+        stats = core.stats
+        cycles = gap / core._issue_width
+        core.clock += cycles
+        stats.instructions += gap
+        stats.compute_cycles += cycles
 
+        # Address translation (System._translate, inlined).
+        addr = record.addr
+        entry = self.tlbs[core_id].lookup(addr // self.page_size)
+        if entry is None:
+            entry = self.tlbs[core_id].fill(self._page_table_translate(addr))
+            core.clock += self._page_walk_cycles
+
+        # Hierarchy walk + timing (CoreModel.advance_memory, inlined).
+        is_write = record.is_write
+        outcome = self._hierarchy_access(core_id, addr, is_write)
+        stats.memory_accesses += 1
         if outcome.llc_miss:
             self.llc_misses += 1
-            request = MemRequest(
-                addr=record.addr,
-                is_write=record.is_write,
-                core_id=core_id,
-                mapping=mapping,
-                page_size=self.page_size,
-            )
-            result = self.controllers.access(int(core.clock), request)
-            core.advance_memory("memory", result.latency)
+            mapping = self._mapping
+            mapping.cached = entry.cached
+            mapping.way = entry.way
+            request = self._demand_request
+            request.addr = addr
+            request.is_write = is_write
+            request.core_id = core_id
+            result = self._controllers_access(int(core.clock), request)
+            stall = core._l3_hit_latency + result.latency / core.mlp
         else:
-            core.advance_memory(outcome.level)
+            level = outcome.level
+            if level == "l1":
+                stall = core._l1_stall
+            elif level == "l2":
+                stall = core._l2_stall
+            else:
+                stall = core._l3_stall
+        core.clock += stall
+        stats.memory_stall_cycles += stall
 
-        for writeback in outcome.writebacks:
-            self.llc_writebacks += 1
-            self.controllers.access(
-                int(core.clock),
-                MemRequest(
-                    addr=writeback.addr,
-                    is_write=True,
-                    core_id=core_id,
-                    is_writeback=True,
-                    page_size=self.page_size,
-                ),
-            )
-        self.scheme.notify_cycle(int(core.clock))
+        if outcome.writebacks:
+            wb_request = self._wb_request
+            wb_request.core_id = core_id
+            now = int(core.clock)
+            for writeback in outcome.writebacks:
+                self.llc_writebacks += 1
+                wb_request.addr = writeback.addr
+                self._controllers_access(now, wb_request)
+        if self._notify_cycle is not None:
+            self._notify_cycle(int(core.clock))
         return core.clock
 
     def _translate(self, core_id: int, addr: int, core: CoreModel) -> MappingInfo:
@@ -167,6 +220,10 @@ class System:
         frequency-based policy intentionally caches pages slowly, so a cold
         start under-reports its hit rate relative to the paper's 100-billion-
         instruction runs.
+
+        Every counter that :meth:`collect_results` reports is snapshotted
+        here — including ``scheme_stats`` and ``hierarchy_stats`` — so all
+        reported statistics are consistently post-warmup deltas.
         """
         self._baseline = {
             "instructions": sum(core.stats.instructions for core in self.cores),
@@ -181,6 +238,8 @@ class System:
             "in_traffic": dict(self.in_dram.traffic.breakdown()),
             "off_traffic": dict(self.off_dram.traffic.breakdown()),
             "os_stall": sum(core.stats.os_stall_cycles for core in self.cores),
+            "scheme_stats": self.scheme.stats.as_dict(),
+            "hierarchy_stats": self.hierarchy.stats(),
         }
 
     def collect_results(self, wall_time_seconds: float = 0.0) -> SimulationResults:
@@ -198,6 +257,8 @@ class System:
             "in_traffic": {},
             "off_traffic": {},
             "os_stall": 0.0,
+            "scheme_stats": {},
+            "hierarchy_stats": {},
         }
         instructions = sum(core.stats.instructions for core in self.cores) - base["instructions"]
         accesses = sum(core.stats.memory_accesses for core in self.cores) - base["accesses"]
@@ -227,8 +288,14 @@ class System:
             tlb_misses=sum(tlb.misses for tlb in self.tlbs) - base["tlb_misses"],
             in_traffic_bytes=in_traffic,
             off_traffic_bytes=off_traffic,
-            scheme_stats=self.scheme.stats.as_dict(),
-            hierarchy_stats=self.hierarchy.stats(),
+            scheme_stats={
+                key: value - base["scheme_stats"].get(key, 0)
+                for key, value in self.scheme.stats.as_dict().items()
+            },
+            hierarchy_stats={
+                key: value - base["hierarchy_stats"].get(key, 0)
+                for key, value in self.hierarchy.stats().items()
+            },
             os_stall_cycles=sum(core.stats.os_stall_cycles for core in self.cores) - base["os_stall"],
             wall_time_seconds=wall_time_seconds,
         )

@@ -1,0 +1,173 @@
+"""Hot-path regression tests.
+
+Covers the three guarantees of the allocation-free record pipeline:
+
+* engine reuse is safe (per-run counter reset — the warmup/budget bug),
+* warmup is excluded from *every* reported statistic (the
+  ``begin_measurement`` snapshot bug for scheme/hierarchy stats),
+* the fast path is bit-identical to the pre-refactor implementation
+  (golden results captured from the original composed-API pipeline).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.sram_cache import SramCache
+from repro.sim.config import SystemConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.system import System
+from repro.util.rng import DeterministicRng
+from repro.workloads.registry import get_workload
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_hotpath.json")
+
+
+def make_engine(scheme="banshee", workload="gcc", num_cores=2, scale=0.05, seed=1):
+    config = SystemConfig.tiny(scheme=scheme, num_cores=num_cores, seed=seed)
+    return SimulationEngine(System(config, get_workload(workload, num_cores, scale=scale, seed=seed)))
+
+
+# ---------------------------------------------------------------- engine reuse
+
+
+def test_engine_reuse_resets_per_run_counter():
+    engine = make_engine()
+    engine.run(100)
+    assert engine.records_processed == 200  # 2 cores x 100 records
+    assert engine.total_records_processed == 200
+    engine.run(150)
+    assert engine.records_processed == 300  # per-run, not cumulative
+    assert engine.total_records_processed == 500
+
+
+def test_engine_reuse_does_not_exhaust_total_budget():
+    """A reused engine used to hit ``max_total_records`` before record one."""
+    engine = make_engine()
+    engine.run(100)
+    second = engine.run(100, max_total_records=150)
+    assert engine.records_processed == 150
+    # The shared System keeps simulating across runs (no snapshot between
+    # runs without warmup), so the result covers both runs' records.
+    assert second.memory_accesses == 200 + 150
+
+
+def test_engine_reuse_does_not_mistime_warmup():
+    """A reused engine used to trip the warmup threshold immediately.
+
+    With the bug, ``records_processed`` carried over from the first run, so
+    ``begin_measurement`` fired on the second run's first record and the
+    "measured" window silently included the warmup records.
+    """
+    engine = make_engine()
+    engine.run(100)
+    result = engine.run(100, warmup_records_per_core=60)
+    # 2 cores x (100 - 60) post-warmup records, one memory access each.
+    assert result.memory_accesses == 80
+
+
+# ----------------------------------------------------- warmup stat consistency
+
+
+def test_warmup_excludes_hierarchy_and_scheme_stats():
+    """hierarchy_stats/scheme_stats must be post-warmup deltas like the rest."""
+    engine = make_engine(workload="mcf", scale=0.05)
+    result = engine.run(400, warmup_records_per_core=200)
+    hier = result.hierarchy_stats
+    # Every post-warmup record makes exactly one L1 access, so the L1
+    # hit+miss total must equal the post-warmup access count.  Before the
+    # fix these counters covered the whole run (warmup included).
+    assert hier["l1_hits"] + hier["l1_misses"] == result.memory_accesses
+    assert hier["l1_misses"] == hier["l2_hits"] + hier["l2_misses"]
+    # Scheme counters must agree with the (already deltaed) top-level ones.
+    assert result.scheme_stats.get("dram_cache_hits", 0) == result.dram_cache_hits
+    assert result.scheme_stats.get("dram_cache_misses", 0) == result.dram_cache_misses
+
+
+def test_no_warmup_stats_unchanged():
+    """Without warmup the deltas equal the whole-run totals."""
+    engine = make_engine(workload="mcf", scale=0.05)
+    result = engine.run(400)
+    hier = result.hierarchy_stats
+    assert hier["l1_hits"] + hier["l1_misses"] == result.memory_accesses
+    assert result.scheme_stats.get("dram_cache_hits", 0) == result.dram_cache_hits
+
+
+# ------------------------------------------------------- fast-path equivalence
+
+
+def _reference_walk(hierarchy, core_id, addr, is_write):
+    """The pre-refactor composed walk, via the allocating public APIs."""
+    outcome = hierarchy.access(core_id, addr, is_write)
+    return outcome.level, outcome.llc_miss, [(wb.addr, wb.dirty) for wb in outcome.writebacks]
+
+
+def test_hierarchy_fast_path_matches_public_api():
+    config = SystemConfig.tiny(num_cores=2)
+    slow = CacheHierarchy(config, rng=DeterministicRng(3))
+    fast = CacheHierarchy(config, rng=DeterministicRng(3))
+    rng = DeterministicRng(11)
+    for i in range(4000):
+        core_id = i % 2
+        addr = (rng.randint(0, 1 << 18)) * 16
+        is_write = rng.chance(0.3)
+        expected = _reference_walk(slow, core_id, addr, is_write)
+        outcome = fast.access_reused(core_id, addr, is_write)
+        got = (outcome.level, outcome.llc_miss, [(wb.addr, wb.dirty) for wb in outcome.writebacks])
+        assert got == expected
+    assert fast.stats() == slow.stats()
+
+
+def test_sram_fast_path_matches_public_api():
+    from repro.sim.config import CacheLevelConfig
+
+    for policy in ("lru", "fifo", "random"):
+        config = CacheLevelConfig(size_bytes=4096, ways=4, replacement=policy)
+        slow = SramCache("slow", config, rng=DeterministicRng(5))
+        fast = SramCache("fast", config, rng=DeterministicRng(5))
+        rng = DeterministicRng(9)
+        for _ in range(3000):
+            addr = rng.randint(0, 1 << 16)
+            is_write = rng.chance(0.5)
+            result = slow.access(addr, is_write)
+            hit = fast.access_fast(addr, is_write)
+            assert hit == result.hit
+            if not hit:
+                if result.eviction is None:
+                    assert fast.victim_addr is None
+                else:
+                    assert fast.victim_addr == result.eviction.addr
+                    assert fast.victim_dirty == result.eviction.dirty
+        assert (fast.hits, fast.misses, fast.evictions, fast.dirty_evictions) == (
+            slow.hits, slow.misses, slow.evictions, slow.dirty_evictions
+        )
+
+
+# ------------------------------------------------------------ golden determinism
+
+
+def load_goldens():
+    with open(GOLDEN_PATH, encoding="utf-8") as fh:
+        return json.load(fh)["cells"]
+
+
+@pytest.mark.parametrize(
+    "cell", load_goldens(), ids=lambda cell: f"{cell['scheme']}-{cell['workload']}"
+)
+def test_fast_path_matches_pre_refactor_goldens(cell):
+    """Results must stay bit-identical to the pre-refactor implementation.
+
+    The goldens were captured from the original allocating pipeline (before
+    the allocation-free fast path landed); JSON round-trip on both sides
+    makes float comparison exact (shortest-round-trip formatting).
+    """
+    config = SystemConfig.scaled_default(
+        scheme=cell["scheme"], num_cores=cell["num_cores"], seed=cell["seed"]
+    )
+    workload = get_workload(
+        cell["workload"], cell["num_cores"], scale=cell["scale"], seed=cell["seed"]
+    )
+    result = SimulationEngine(System(config, workload)).run(cell["records_per_core"])
+    assert json.loads(json.dumps(result.identity_dict())) == cell["result"]

@@ -1,0 +1,59 @@
+"""Tests for the ``repro.perf`` benchmark harness."""
+
+import json
+
+import pytest
+
+from repro.perf.cli import main
+from repro.perf.harness import run_benchmark, run_cell
+
+
+def test_run_cell_counts_all_records():
+    cell = run_cell("nocache", "gcc", records_per_core=50, num_cores=2,
+                    scale=0.05, repeats=1, preset="tiny")
+    assert cell.records == 100
+    assert cell.best_seconds > 0
+    assert cell.records_per_sec == pytest.approx(cell.records / cell.best_seconds)
+    assert cell.instructions > 0
+
+
+def test_run_cell_rejects_bad_repeats():
+    with pytest.raises(ValueError, match="repeats"):
+        run_cell("nocache", "gcc", records_per_core=10, repeats=0, preset="tiny")
+    with pytest.raises(ValueError, match="preset"):
+        run_cell("nocache", "gcc", records_per_core=10, preset="bogus")
+
+
+def test_run_benchmark_payload_schema():
+    payload = run_benchmark(
+        schemes=["nocache", "banshee"],
+        workloads=["gcc"],
+        records_per_core=50,
+        num_cores=2,
+        scale=0.05,
+        repeats=1,
+        preset="tiny",
+    )
+    assert payload["name"] == "hotpath"
+    assert [cell["scheme"] for cell in payload["cells"]] == ["nocache", "banshee"]
+    aggregate = payload["aggregate"]
+    assert aggregate["total_records"] == 200
+    assert aggregate["geomean_records_per_sec"] > 0
+    assert aggregate["min_records_per_sec"] <= aggregate["geomean_records_per_sec"]
+    # The payload must be JSON-serialisable as-is.
+    json.dumps(payload)
+
+
+def test_cli_smoke_writes_report(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    rc = main([
+        "--smoke", "--preset", "tiny", "--scale", "0.05",
+        "--schemes", "nocache", "--workloads", "gcc",
+        "--output", str(out), "--quiet",
+    ])
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["params"]["repeats"] == 1
+    assert payload["params"]["records_per_core"] <= 500
+    assert len(payload["cells"]) == 1
+    assert "geomean" in capsys.readouterr().out
