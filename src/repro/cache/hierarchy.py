@@ -13,7 +13,7 @@ all of them.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.cache.sram_cache import Eviction, SramCache
 from repro.sim.config import SystemConfig
@@ -136,7 +136,7 @@ class CacheHierarchy:
             dirty.extend(cache.flush_page(page_addr, page_size))
         return dirty
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, int]:
         """Aggregate hit/miss counters for all levels."""
         return {
             "l1_hits": sum(c.hits for c in self.l1),

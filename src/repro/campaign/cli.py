@@ -26,6 +26,7 @@ from repro.campaign.executor import CellOutcome
 from repro.campaign.export import export_csv, export_json
 from repro.campaign.spec import PRESETS, CampaignSpec, SweepGrid
 from repro.campaign.store import ResultStore
+from repro.dramcache.variants import available_scheme_names, describe_variants
 from repro.experiments.report import format_table
 
 
@@ -48,11 +49,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_parser = sub.add_parser("run", help="run (or resume) a campaign")
+    run_parser = sub.add_parser(
+        "run",
+        help="run (or resume) a campaign",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "available schemes and variants:\n  "
+            + "\n  ".join(available_scheme_names())
+            + "\n\nvariant details:\n"
+            + describe_variants()
+        ),
+    )
     run_parser.add_argument("--store", required=True, help="result store directory")
     run_parser.add_argument("--spec", help="JSON campaign spec file")
     run_parser.add_argument("--name", help="campaign name (default: spec file's name, or 'campaign')")
-    run_parser.add_argument("--schemes", nargs="+", help="scheme names, e.g. banshee alloy nocache")
+    run_parser.add_argument("--schemes", nargs="+",
+                            help="scheme or variant names, e.g. banshee banshee-tb4k alloy "
+                                 "(see the list below; validated before any cell runs)")
     run_parser.add_argument("--workloads", nargs="+", help="workload names, e.g. gcc mcf pagerank")
     run_parser.add_argument("--seeds", nargs="+", type=int, help="RNG seeds")
     run_parser.add_argument("--cache-sizes", nargs="+", type=_optional_int,

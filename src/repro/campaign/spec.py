@@ -19,6 +19,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.dramcache.variants import resolve_scheme
 from repro.experiments.runner import (
     DEFAULT_WARMUP_FRACTION,
     simulation_cell_key,
@@ -34,17 +35,27 @@ PRESETS = ("tiny", "scaled", "paper")
 
 
 def normalize_scheme(entry) -> SchemeEntry:
-    """Accept ``"banshee"``, ``("label", "scheme")`` or ``("label", "scheme", overrides)``."""
+    """Accept ``"banshee"``, ``("label", "scheme")`` or ``("label", "scheme", overrides)``.
+
+    The scheme name (base scheme or registered variant) is validated here,
+    at spec-construction time, so a typo fails with the list of available
+    names before any worker process starts simulating.
+    """
     if isinstance(entry, str):
-        return (entry, entry, {})
-    entry = tuple(entry)
-    if len(entry) == 2:
-        label, scheme = entry
-        return (str(label), str(scheme), {})
-    if len(entry) == 3:
-        label, scheme, overrides = entry
-        return (str(label), str(scheme), dict(overrides))
-    raise ValueError(f"scheme entry must be a name or a 2/3-tuple, got {entry!r}")
+        normalized = (entry, entry, {})
+    else:
+        entry = tuple(entry)
+        if len(entry) == 2:
+            label, scheme = entry
+            normalized = (str(label), str(scheme), {})
+        elif len(entry) == 3:
+            label, scheme, overrides = entry
+            normalized = (str(label), str(scheme), dict(overrides))
+        else:
+            raise ValueError(f"scheme entry must be a name or a 2/3-tuple, got {entry!r}")
+    # Raises ValueError listing every base scheme and variant on a miss.
+    resolve_scheme(normalized[1])
+    return normalized
 
 
 @dataclass

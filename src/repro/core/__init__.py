@@ -14,11 +14,22 @@ This package contains the Banshee DRAM-cache scheme and its building blocks:
 """
 
 from repro.core.bandwidth_balancer import BandwidthBalancer
-from repro.core.banshee import BansheeCache, BansheePartition
 from repro.core.frequency import FrequencySetMetadata, MetadataSlot
 from repro.core.large_pages import PartitionPlan, plan_partitions
 from repro.core.pte_extension import PteUpdateBatcher
 from repro.core.tag_buffer import TagBuffer, TagBufferEntry
+
+
+def __getattr__(name: str):
+    # BansheeCache composes repro.dramcache.components, which in turn builds
+    # on the tag-buffer/PTE machinery of this package.  Loading the scheme
+    # lazily keeps ``import repro.core`` (triggered by any submodule import)
+    # from closing that loop into a circular import.
+    if name in ("BansheeCache", "BansheePartition"):
+        from repro.core import banshee
+
+        return getattr(banshee, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "BandwidthBalancer",

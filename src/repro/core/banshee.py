@@ -6,10 +6,13 @@ Banshee combines:
   hit moves exactly the 64 B demand line and a miss goes straight to
   off-package DRAM (no probe), both with ~1x latency (Table 1);
 * per-memory-controller tag buffers providing lazy TLB/PTE coherence
-  (:mod:`repro.core.tag_buffer`, :mod:`repro.core.pte_extension`);
+  (:class:`~repro.dramcache.components.coherence.TagBufferCoherence` over
+  :mod:`repro.core.tag_buffer` and :mod:`repro.core.pte_extension`);
 * a frequency-based replacement policy with sampled counter updates and a
   replacement threshold that only brings in pages whose expected benefit
-  outweighs the replacement traffic (Algorithm 1);
+  outweighs the replacement traffic (Algorithm 1, as
+  :class:`~repro.dramcache.components.replacement.SampledFrequencyPolicy`
+  gated by :class:`~repro.dramcache.components.replacement.AdaptiveSampler`);
 * large-page (2 MB) support via DRAM-cache partitioning
   (:mod:`repro.core.large_pages`);
 * an optional BATMAN-style bandwidth balancer (Section 5.4.2).
@@ -22,26 +25,38 @@ Two ablations of the replacement policy are selectable through
 * ``"fbr-nosample"`` — frequency-based replacement whose counters are read
   and written on *every* DRAM-cache access (like CHOP);
 * ``"fbr-sample"`` — the full Banshee policy (default).
+
+The demand path stays hand-inlined (it is the simulator's hottest scheme
+path); everything stateful it dispatches to — residency, metadata traffic,
+replacement decisions, fills/evictions, mapping coherence — lives in
+:mod:`repro.dramcache.components`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.cache.replacement import LruPolicy
 from repro.core.bandwidth_balancer import BandwidthBalancer
 from repro.core.frequency import INVALID_PAGE, FrequencySetMetadata
 from repro.core.large_pages import PartitionPlan, plan_partitions
-from repro.core.pte_extension import PteUpdateBatcher
-from repro.core.tag_buffer import TagBuffer, TagBufferFullError
 from repro.dram.device import DramDevice
-from repro.dramcache.base import TAG_ACCESS_BYTES, DramCacheScheme, OsServices
+from repro.dramcache.base import DramCacheScheme, OsServices
+from repro.dramcache.components.coherence import TagBufferCoherence
+from repro.dramcache.components.replacement import AdaptiveSampler, SampledFrequencyPolicy
+from repro.dramcache.components.stores import PageDirectory
+from repro.dramcache.components.traffic import (
+    METADATA_ACCESS_BYTES,
+    MetadataChannel,
+    TagProbe,
+    TransferFlows,
+)
 from repro.memctrl.request import AccessResult, MappingInfo, MemRequest
 from repro.sim.config import SystemConfig
 from repro.sim.stats import MissRateWindow, TrafficCategory
 from repro.util.rng import DeterministicRng
 
-METADATA_ACCESS_BYTES = 32
+__all__ = ["METADATA_ACCESS_BYTES", "BansheeCache", "BansheePartition"]
 
 
 class BansheePartition:
@@ -61,9 +76,17 @@ class BansheePartition:
         self.metadata: List[FrequencySetMetadata] = [
             FrequencySetMetadata(self.ways, num_candidates, self.counter_max) for _ in range(self.num_sets)
         ]
-        self.resident: Dict[int, int] = {}
-        self.dirty: set = set()
+        self.directory = PageDirectory()
+        # The directory's containers double as this partition's public
+        # ``resident``/``dirty`` views (shared objects, not copies).
+        self.resident: Dict[int, int] = self.directory.pages
+        self.dirty: set = self.directory.dirty
         self.lru = LruPolicy(self.num_sets, self.ways) if policy == "lru" else None
+        # Wired by BansheeCache.__init__ (they need the scheme's shared
+        # miss-rate window, RNG and stats); kept on the partition so the
+        # demand hot path reaches them without a per-access dict lookup.
+        self.sampler: Optional[AdaptiveSampler] = None
+        self.fbr: Optional[SampledFrequencyPolicy] = None
 
     def set_of(self, page: int) -> int:
         """DRAM-cache set holding ``page``."""
@@ -79,12 +102,11 @@ class BansheePartition:
 
     def mark_dirty(self, page: int) -> None:
         """Record that the resident copy of ``page`` has been modified."""
-        if page in self.resident:
-            self.dirty.add(page)
+        self.directory.mark_dirty(page)
 
     def occupancy(self) -> int:
         """Number of resident pages."""
-        return len(self.resident)
+        return self.directory.occupancy()
 
 
 class BansheeCache(DramCacheScheme):
@@ -107,13 +129,30 @@ class BansheeCache(DramCacheScheme):
         self._partitions: Dict[int, BansheePartition] = {
             plan.page_size: BansheePartition(plan, config, self.policy) for plan in plans if plan.capacity_bytes > 0
         }
-        self.tag_buffers: List[TagBuffer] = [
-            TagBuffer(cache_config.tag_buffer_entries, cache_config.tag_buffer_ways)
-            for _ in range(config.num_mem_controllers)
-        ]
-        self.pte_updater = PteUpdateBatcher(self.tag_buffers, self.os)
-        self.flush_threshold = cache_config.tag_buffer_flush_threshold
+        self.coherence = TagBufferCoherence(
+            num_controllers=config.num_mem_controllers,
+            entries=cache_config.tag_buffer_entries,
+            ways=cache_config.tag_buffer_ways,
+            flush_threshold=cache_config.tag_buffer_flush_threshold,
+            os_services=self.os,
+            stats=self.stats,
+        )
+        self.tag_buffers = self.coherence.tag_buffers
+        self.pte_updater = self.coherence.pte_updater
+        self.metadata_channel = MetadataChannel(self)
+        self.tag_probe = TagProbe(self)
+        self.flows = TransferFlows(self)
         self.miss_window = MissRateWindow(window=2048, initial_rate=1.0)
+        for partition in self._partitions.values():
+            partition.sampler = AdaptiveSampler(
+                self.miss_window,
+                partition.sampling_coefficient,
+                self.rng,
+                always=(self.policy == "fbr-nosample"),
+            )
+            partition.fbr = SampledFrequencyPolicy(
+                partition.metadata, partition.threshold, self.rng, self.stats
+            )
         self.balancer: Optional[BandwidthBalancer] = None
         if cache_config.bandwidth_balance:
             self.balancer = BandwidthBalancer(
@@ -124,7 +163,7 @@ class BansheeCache(DramCacheScheme):
 
     def set_os_services(self, os_services: OsServices) -> None:
         super().set_os_services(os_services)
-        self.pte_updater.set_os_services(os_services)
+        self.coherence.set_os_services(os_services)
 
     def partition_for(self, page_size: int) -> BansheePartition:
         """The partition managing pages of ``page_size``."""
@@ -152,8 +191,7 @@ class BansheeCache(DramCacheScheme):
     def _demand(
         self, now: int, request: MemRequest, page: int, partition: BansheePartition, mc_id: int
     ) -> AccessResult:
-        buffer = self.tag_buffers[mc_id]
-        entry = buffer.lookup(page)
+        entry = self.coherence.lookup(mc_id, page)
         if entry is not None:
             carried_cached, carried_way = entry.cached, entry.way
         else:
@@ -161,10 +199,7 @@ class BansheeCache(DramCacheScheme):
             carried_cached, carried_way = mapping.cached, mapping.way
             # Allocate a clean (remap=0) entry so later dirty evictions of
             # this page avoid the in-DRAM tag probe (Section 3.3).
-            try:
-                buffer.insert(page, carried_cached, carried_way, remap=False)
-            except TagBufferFullError:  # pragma: no cover - clean inserts never raise
-                pass
+            self.coherence.note_clean(mc_id, page, carried_cached, carried_way)
 
         cached = partition.is_resident(page)
         self.stats.inc("mapping_consistent" if cached == carried_cached else "mapping_stale")
@@ -186,29 +221,30 @@ class BansheeCache(DramCacheScheme):
             served_by = "off-package"
 
         self.record_hit(cached)
-        self.miss_window.record(cached)
+        # The partition's sampler feeds the shared miss-rate window that
+        # drives the adaptive sample rate (Section 4.2.1).
+        partition.sampler.record(cached)
         self._run_replacement_policy(now + latency, request, page, partition, mc_id, cached)
         return AccessResult(latency=latency, dram_cache_hit=cached, served_by=served_by)
 
     def _writeback(
         self, now: int, request: MemRequest, page: int, partition: BansheePartition, mc_id: int
     ) -> AccessResult:
-        buffer = self.tag_buffers[mc_id]
-        entry = buffer.lookup(page)
+        entry = self.coherence.lookup(mc_id, page)
         if entry is not None:
             cached = entry.cached
             self.stats.inc("writeback_tagbuffer_hits")
         else:
             # Without mapping information the controller must probe the tags
             # stored in the DRAM cache (Section 3.3).
-            self.background_in(now, request.addr, TAG_ACCESS_BYTES, TrafficCategory.TAG)
+            self.tag_probe.probe(now, request.addr)
             cached = partition.is_resident(page)
             self.stats.inc("writeback_tag_probes")
         if cached:
-            self.background_in(now, request.addr, self.line_size, TrafficCategory.WRITEBACK)
+            self.flows.writeback_to_cache(now, request.addr)
             partition.mark_dirty(page)
             return AccessResult(latency=0, dram_cache_hit=True, served_by="in-package")
-        self.background_off(now, request.addr, self.line_size, TrafficCategory.WRITEBACK)
+        self.flows.writeback_to_off(now, request.addr)
         return AccessResult(latency=0, dram_cache_hit=False, served_by="off-package")
 
     # ------------------------------------------------------------------ replacement policies
@@ -221,11 +257,7 @@ class BansheeCache(DramCacheScheme):
         if self.policy == "lru":
             self._lru_policy(now, request, page, partition, mc_id, hit)
             return
-        if self.policy == "fbr-nosample":
-            sample_rate = 1.0
-        else:
-            sample_rate = self.miss_window.rate * partition.sampling_coefficient
-        if not self.rng.chance(sample_rate):
+        if not partition.sampler.should_update():
             return
         self._fbr_sampled_update(now, request, page, partition, mc_id)
 
@@ -234,38 +266,13 @@ class BansheeCache(DramCacheScheme):
     ) -> None:
         """Algorithm 1: load the set metadata, update counters, maybe replace."""
         set_index = partition.set_of(page)
-        meta = partition.metadata[set_index]
         meta_addr = request.addr
-        self.background_in(now, meta_addr, METADATA_ACCESS_BYTES, TrafficCategory.COUNTER)
-        self.stats.inc("counter_reads")
-
-        cached_way = meta.find_cached(page)
-        candidate_index = meta.find_candidate(page)
-
-        if cached_way is not None:
-            meta.increment(meta.cached[cached_way])
-        elif candidate_index is not None:
-            slot = meta.candidates[candidate_index]
-            meta.increment(slot)
-            min_way, min_count = meta.min_cached()
-            if slot.count > min_count + partition.threshold:
-                self._replace(now, request, page, partition, mc_id, set_index, candidate_index, min_way)
-        else:
-            self._track_new_candidate(meta, page)
-
-        self.background_in(now, meta_addr, METADATA_ACCESS_BYTES, TrafficCategory.COUNTER)
-        self.stats.inc("counter_writes")
-
-    def _track_new_candidate(self, meta: FrequencySetMetadata, page: int) -> None:
-        """Lines 17-23 of Algorithm 1: probabilistically start tracking ``page``."""
-        if not meta.candidates:
-            return
-        index = self.rng.randint(0, len(meta.candidates))
-        victim = meta.candidates[index]
-        probability = 1.0 if not victim.valid or victim.count == 0 else 1.0 / victim.count
-        if self.rng.chance(probability):
-            meta.install_candidate(index, page, count=1)
-            self.stats.inc("candidate_installs")
+        self.metadata_channel.read(now, meta_addr)
+        decision = partition.fbr.update(set_index, page)
+        if decision is not None:
+            candidate_index, victim_way = decision
+            self._replace(now, request, page, partition, mc_id, set_index, candidate_index, victim_way)
+        self.metadata_channel.write(now, meta_addr)
 
     def _replace(
         self,
@@ -289,44 +296,22 @@ class BansheeCache(DramCacheScheme):
 
         # Both the evicted and the inserted page changed their mapping: record
         # the remaps in this controller's tag buffer (Section 3.1).
-        self._record_remap(mc_id, page, cached=True, way=victim_way, core_id=request.core_id)
+        self.coherence.record_remap(mc_id, page, cached=True, way=victim_way, core_id=request.core_id)
         if victim_page != INVALID_PAGE:
-            victim_mc = victim_page % len(self.tag_buffers)
-            self._record_remap(victim_mc, victim_page, cached=False, way=0, core_id=request.core_id)
+            victim_mc = self.coherence.controller_of(victim_page)
+            self.coherence.record_remap(victim_mc, victim_page, cached=False, way=0, core_id=request.core_id)
 
     def _evict_page(self, now: int, victim_page: int, partition: BansheePartition) -> None:
-        victim_addr = victim_page * partition.page_size
         if victim_page in partition.dirty:
-            self.background_in(now, victim_addr, partition.page_size, TrafficCategory.REPLACEMENT)
-            self.background_off(now, victim_addr, partition.page_size, TrafficCategory.WRITEBACK)
-            partition.dirty.discard(victim_page)
+            self.flows.evict_dirty_to_off(now, victim_page * partition.page_size, partition.page_size)
             self.stats.inc("dirty_page_evictions")
-        partition.resident.pop(victim_page, None)
+        partition.directory.evict(victim_page)
         self.stats.inc("page_evictions")
 
     def _fill_page(self, now: int, page: int, way: int, partition: BansheePartition, dirty: bool) -> None:
-        page_addr = page * partition.page_size
-        self.background_off(now, page_addr, partition.page_size, TrafficCategory.REPLACEMENT)
-        self.background_in(now, page_addr, partition.page_size, TrafficCategory.REPLACEMENT)
-        partition.resident[page] = way
-        if dirty:
-            partition.dirty.add(page)
+        self.flows.fill_from_off(now, page * partition.page_size, partition.page_size)
+        partition.directory.fill(page, way, dirty)
         self.stats.inc("page_fills")
-
-    def _record_remap(self, mc_id: int, page: int, cached: bool, way: int, core_id: int) -> None:
-        buffer = self.tag_buffers[mc_id]
-        try:
-            buffer.insert(page, cached, way, remap=True)
-        except TagBufferFullError:
-            self._flush(core_id)
-            buffer.insert(page, cached, way, remap=True)
-        if self.pte_updater.needs_flush(self.flush_threshold):
-            self._flush(core_id)
-
-    def _flush(self, core_id: int) -> None:
-        applied = self.pte_updater.flush(core_id)
-        self.stats.inc("tag_buffer_flushes")
-        self.stats.inc("pte_updates", applied)
 
     # ------------------------------------------------------------------ LRU ablation (Figure 7)
 
@@ -342,8 +327,8 @@ class BansheeCache(DramCacheScheme):
         assert partition.lru is not None
         set_index = partition.set_of(page)
         meta_addr = request.addr
-        self.background_in(now, meta_addr, METADATA_ACCESS_BYTES, TrafficCategory.COUNTER)
-        self.background_in(now, meta_addr, METADATA_ACCESS_BYTES, TrafficCategory.COUNTER)
+        self.metadata_channel.touch(now, meta_addr)
+        self.metadata_channel.touch(now, meta_addr)
 
         if hit:
             partition.lru.on_access(set_index, partition.way_of(page))
@@ -355,16 +340,15 @@ class BansheeCache(DramCacheScheme):
         victim_slot = meta.cached[victim_way]
         if victim_slot.valid:
             self._evict_page(now, victim_slot.page, partition)
-            self._record_remap(mc_id, victim_slot.page, cached=False, way=0, core_id=request.core_id)
+            self.coherence.record_remap(mc_id, victim_slot.page, cached=False, way=0, core_id=request.core_id)
         meta.fill_way(victim_way, page, count=1, dirty=request.is_write)
         self._fill_page(now, page, victim_way, partition, dirty=request.is_write)
         partition.lru.on_fill(set_index, victim_way)
-        self._record_remap(mc_id, page, cached=True, way=victim_way, core_id=request.core_id)
+        self.coherence.record_remap(mc_id, page, cached=True, way=victim_way, core_id=request.core_id)
         self.stats.inc("replacements")
 
     # ------------------------------------------------------------------ end of run
 
     def finalize(self, now: int) -> None:
         """Flush any outstanding remaps so PTE state is consistent at the end."""
-        if self.pte_updater.collect_updates():
-            self._flush(core_id=0)
+        self.coherence.finalize(core_id=0)

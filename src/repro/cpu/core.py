@@ -18,6 +18,7 @@ studies) while compute-bound workloads stay core-limited.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.sim.config import CoreConfig
 
@@ -36,7 +37,7 @@ class CoreStats:
 class CoreModel:
     """One core's clock and timing rules."""
 
-    def __init__(self, core_id: int, config: CoreConfig, mlp: float = None) -> None:
+    def __init__(self, core_id: int, config: CoreConfig, mlp: Optional[float] = None) -> None:
         self.core_id = core_id
         self.config = config
         self.mlp = float(mlp) if mlp is not None else float(config.mlp)

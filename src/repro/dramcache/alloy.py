@@ -18,6 +18,12 @@ paper:
 The paper disables the original Alloy optimisation of issuing the in- and
 off-package accesses in parallel on a miss (it hurts when off-package
 bandwidth is scarce); we follow that and serialise them.
+
+Mechanically the scheme is a composition of a
+:class:`~repro.dramcache.components.stores.DirectMappedLineStore` (residency),
+a :class:`~repro.dramcache.components.traffic.TagProbe` (TAD reads and the
+BEAR writeback probe) and :class:`~repro.dramcache.components.traffic.TransferFlows`
+(fills and dirty-victim writebacks).
 """
 
 from __future__ import annotations
@@ -25,7 +31,9 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.dram.device import DramDevice
-from repro.dramcache.base import TAG_ACCESS_BYTES, DramCacheScheme, OsServices
+from repro.dramcache.base import DramCacheScheme, OsServices
+from repro.dramcache.components.stores import DirectMappedLineStore
+from repro.dramcache.components.traffic import TagProbe, TransferFlows
 from repro.memctrl.request import AccessResult, MemRequest
 from repro.sim.config import SystemConfig
 from repro.sim.stats import TrafficCategory
@@ -50,12 +58,11 @@ class AlloyCache(DramCacheScheme):
         # layout stores 8 B of tag next to each 64 B line; we keep the
         # conventional simplification of ignoring the resulting ~11% capacity
         # loss (it is identical for Alloy 1 and Alloy 0.1).
-        self.num_frames = config.in_package_dram.capacity_bytes // self.line_size
-        if self.num_frames <= 0:
-            raise ValueError("in-package DRAM too small for even one line")
+        self.store = DirectMappedLineStore(config.in_package_dram.capacity_bytes // self.line_size)
+        self.num_frames = self.store.num_frames
         self.fill_probability = config.dram_cache.alloy_replacement_probability
-        self._tags = {}
-        self._dirty = set()
+        self.probe = TagProbe(self)
+        self.flows = TransferFlows(self)
         self.balancer = None
         if config.dram_cache.bandwidth_balance:
             from repro.core.bandwidth_balancer import BandwidthBalancer
@@ -66,16 +73,9 @@ class AlloyCache(DramCacheScheme):
 
     # ------------------------------------------------------------------ internals
 
-    def _frame_of(self, line: int) -> int:
-        return line % self.num_frames
-
     def is_resident(self, page: int) -> bool:
         """Residency of the *line-sized* block whose number is ``page``."""
-        frame = self._frame_of(page)
-        return self._tags.get(frame) == page
-
-    def _line_resident(self, line: int) -> bool:
-        return self._tags.get(self._frame_of(line)) == line
+        return self.store.is_resident(page)
 
     # ------------------------------------------------------------------ access
 
@@ -85,15 +85,16 @@ class AlloyCache(DramCacheScheme):
         if request.is_writeback:
             return self._writeback(now, line, line_addr)
 
-        frame = self._frame_of(line)
-        resident = self._tags.get(frame) == line
+        store = self.store
+        frame = store.frame_of(line)
+        resident = store.hit(frame, line)
 
         if resident:
             served_by = "in-package"
             if (
                 self.balancer is not None
                 and not request.is_write
-                and frame not in self._dirty
+                and not store.is_dirty(frame)
                 and self.balancer.should_redirect(self.rng.random())
             ):
                 # Bandwidth balancing (Section 5.4.2): serve this clean hit
@@ -102,16 +103,14 @@ class AlloyCache(DramCacheScheme):
                 served_by = "off-package"
             else:
                 # One TAD read returns tag + data: 96 B on the wire.
-                latency = self.read_in(now, line_addr, self.line_size, TrafficCategory.HIT_DATA)
-                self.background_in(now, line_addr, TAG_ACCESS_BYTES, TrafficCategory.TAG)
+                latency = self.probe.hit_read(now, line_addr)
             if request.is_write:
-                self._dirty.add(frame)
+                store.mark_dirty(frame)
             self.record_hit(True)
             return AccessResult(latency=latency, dram_cache_hit=True, served_by=served_by)
 
         # Miss: the speculative TAD read is wasted, then fetch from off-package.
-        spec_latency = self.read_in(now, line_addr, self.line_size, TrafficCategory.MISS_DATA)
-        self.background_in(now, line_addr, TAG_ACCESS_BYTES, TrafficCategory.TAG)
+        spec_latency = self.probe.speculative_read(now, line_addr)
         off_latency = self.read_off(now + spec_latency, line_addr, self.line_size, TrafficCategory.MISS_DATA)
         latency = spec_latency + off_latency
         self.record_hit(False)
@@ -121,30 +120,24 @@ class AlloyCache(DramCacheScheme):
         return AccessResult(latency=latency, dram_cache_hit=False, served_by="off-package")
 
     def _fill(self, now: int, frame: int, line: int, line_addr: int, dirty: bool) -> None:
-        victim = self._tags.get(frame)
-        if victim is not None and frame in self._dirty:
+        victim, victim_dirty = self.store.install(frame, line, dirty)
+        if victim_dirty:
             # The evicted line is dirty: it must be written to off-package DRAM.
-            victim_addr = victim * self.line_size
-            self.background_in(now, victim_addr, self.line_size, TrafficCategory.REPLACEMENT)
-            self.background_off(now, victim_addr, self.line_size, TrafficCategory.WRITEBACK)
+            self.flows.evict_dirty_to_off(now, victim * self.line_size, self.line_size)
             self.stats.inc("dirty_victim_writebacks")
-        self._dirty.discard(frame)
-        self._tags[frame] = line
-        if dirty:
-            self._dirty.add(frame)
         # Fill writes the 64 B line and its tag into the TAD frame.
-        self.background_in(now, line_addr, self.line_size, TrafficCategory.REPLACEMENT)
-        self.background_in(now, line_addr, TAG_ACCESS_BYTES, TrafficCategory.REPLACEMENT)
+        self.flows.fill_in_only(now, line_addr, self.line_size)
+        self.flows.fill_metadata(now, line_addr)
         self.stats.inc("fills")
 
     def _writeback(self, now: int, line: int, line_addr: int) -> AccessResult:
         # BEAR writeback probe: read only the tag first.
-        self.background_in(now, line_addr, TAG_ACCESS_BYTES, TrafficCategory.TAG)
-        if self._line_resident(line):
-            self.background_in(now, line_addr, self.line_size, TrafficCategory.WRITEBACK)
-            self._dirty.add(self._frame_of(line))
+        self.probe.probe(now, line_addr)
+        if self.store.is_resident(line):
+            self.flows.writeback_to_cache(now, line_addr)
+            self.store.mark_dirty(self.store.frame_of(line))
             self.stats.inc("writeback_hits")
             return AccessResult(latency=0, dram_cache_hit=True, served_by="in-package")
-        self.background_off(now, line_addr, self.line_size, TrafficCategory.WRITEBACK)
+        self.flows.writeback_to_off(now, line_addr)
         self.stats.inc("writeback_misses")
         return AccessResult(latency=0, dram_cache_hit=False, served_by="off-package")

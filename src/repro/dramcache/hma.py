@@ -11,15 +11,23 @@ fine-grained temporal locality and every remap interval freezes the system.
 HMA is part of the design-space discussion (Table 1) rather than the main
 evaluation figures; it is implemented here for completeness and used by the
 Table 1 behaviour benchmark and the examples.
+
+Mechanically the scheme is a composition of a
+:class:`~repro.dramcache.components.stores.ResidentPageSet` (wholesale
+membership swaps at remap time) and
+:class:`~repro.dramcache.components.traffic.TransferFlows` (untimed migration
+accounting — remap traffic is charged while every core is stalled).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Optional, Set
+from typing import Dict, Optional
 
 from repro.dram.device import DramDevice
 from repro.dramcache.base import DramCacheScheme, OsServices
+from repro.dramcache.components.stores import ResidentPageSet
+from repro.dramcache.components.traffic import TransferFlows
 from repro.memctrl.request import AccessResult, MemRequest
 from repro.sim.config import SystemConfig
 from repro.sim.stats import TrafficCategory
@@ -44,13 +52,18 @@ class HmaCache(DramCacheScheme):
         self.capacity_pages = config.in_package_dram.capacity_bytes // self.page_size
         self.interval_cycles = cycles_from_ms(config.dram_cache.hma_interval_ms, config.core.freq_ghz)
         self.remap_cost_cycles = cycles_from_us(config.dram_cache.hma_remap_cost_us, config.core.freq_ghz)
-        self._resident: Set[int] = set()
-        self._dirty: Set[int] = set()
+        self.store = ResidentPageSet()
+        self.flows = TransferFlows(self)
         self._epoch_counts: Dict[int, int] = defaultdict(int)
         self._next_remap = self.interval_cycles
 
+    @property
+    def _resident(self):
+        """The resident page set (exposed for tests and diagnostics)."""
+        return self.store.pages
+
     def is_resident(self, page: int) -> bool:
-        return page in self._resident
+        return self.store.is_resident(page)
 
     # ------------------------------------------------------------------ access
 
@@ -58,18 +71,18 @@ class HmaCache(DramCacheScheme):
         self.notify_cycle(now)
         page = request.addr // self.page_size
         if request.is_writeback:
-            if page in self._resident:
-                self._dirty.add(page)
-                self.background_in(now, request.addr, self.line_size, TrafficCategory.WRITEBACK)
+            if self.store.is_resident(page):
+                self.store.mark_dirty(page)
+                self.flows.writeback_to_cache(now, request.addr)
                 return AccessResult(latency=0, dram_cache_hit=True, served_by="in-package")
-            self.background_off(now, request.addr, self.line_size, TrafficCategory.WRITEBACK)
+            self.flows.writeback_to_off(now, request.addr)
             return AccessResult(latency=0, dram_cache_hit=False, served_by="off-package")
 
         self._epoch_counts[page] += 1
-        if page in self._resident:
+        if self.store.is_resident(page):
             latency = self.read_in(now, request.addr, self.line_size, TrafficCategory.HIT_DATA)
             if request.is_write:
-                self._dirty.add(page)
+                self.store.mark_dirty(page)
             self.record_hit(True)
             return AccessResult(latency=latency, dram_cache_hit=True, served_by="in-package")
 
@@ -89,23 +102,18 @@ class HmaCache(DramCacheScheme):
     def _remap(self, now: int) -> None:
         ranked = sorted(self._epoch_counts.items(), key=lambda item: item[1], reverse=True)
         target = {page for page, _count in ranked[: self.capacity_pages]}
-        incoming = target - self._resident
-        outgoing = self._resident - target
+        incoming, outgoing = self.store.retarget(target)
 
         for page in outgoing:
-            page_addr = page * self.page_size
-            if page in self._dirty:
-                self.in_dram.record_only(self.page_size, TrafficCategory.REPLACEMENT)
-                self.off_dram.record_only(self.page_size, TrafficCategory.WRITEBACK)
-            self._dirty.discard(page)
+            if page in self.store.dirty:
+                self.flows.migrate_out_record_only(self.page_size)
+            self.store.dirty.discard(page)
             # Address consistency: the remapped page must be scrubbed from the
             # on-chip caches because HMA changes physical addresses.
-            self.os.flush_page_from_caches(page_addr, self.page_size)
-        for page in incoming:
-            self.off_dram.record_only(self.page_size, TrafficCategory.REPLACEMENT)
-            self.in_dram.record_only(self.page_size, TrafficCategory.REPLACEMENT)
+            self.os.flush_page_from_caches(page * self.page_size, self.page_size)
+        for _page in incoming:
+            self.flows.migrate_in_record_only(self.page_size)
 
-        self._resident = target
         self._epoch_counts = defaultdict(int)
         self.stats.inc("remap_intervals")
         self.stats.inc("pages_migrated", len(incoming) + len(outgoing))

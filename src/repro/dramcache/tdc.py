@@ -11,15 +11,22 @@ coherence mechanism is free, the address-consistency problem is ignored, and
 it gets the same perfect footprint predictor as Unison Cache.  Even this
 idealisation loses to Banshee because it still pays full replacement traffic
 on every miss and FIFO can evict hot pages.
+
+Mechanically the scheme is a composition of a
+:class:`~repro.dramcache.components.stores.FifoPageStore` (residency in FIFO
+order) and :class:`~repro.dramcache.components.traffic.TransferFlows`
+(footprint-sized fills and dirty-page evictions) — no probe component, which
+*is* the point of the design.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from typing import Optional
 
 from repro.dram.device import DramDevice
 from repro.dramcache.base import DramCacheScheme, OsServices
+from repro.dramcache.components.stores import FifoPageStore
+from repro.dramcache.components.traffic import TransferFlows
 from repro.dramcache.footprint import FootprintPredictor
 from repro.memctrl.request import AccessResult, MemRequest
 from repro.sim.config import SystemConfig
@@ -41,17 +48,20 @@ class TaglessDramCache(DramCacheScheme):
         os_services: Optional[OsServices] = None,
     ) -> None:
         super().__init__(config, in_dram, off_dram, rng=rng, os_services=os_services)
-        self.capacity_pages = config.in_package_dram.capacity_bytes // self.page_size
-        if self.capacity_pages <= 0:
-            raise ValueError("in-package DRAM too small for a single page")
-        # OrderedDict doubles as the FIFO queue: insertion order is eviction order.
-        self._resident: "OrderedDict[int, bool]" = OrderedDict()
+        self.store = FifoPageStore(config.in_package_dram.capacity_bytes // self.page_size)
+        self.capacity_pages = self.store.capacity_pages
+        self.flows = TransferFlows(self)
         self.footprint = FootprintPredictor(
             self.page_size, granularity_lines=config.dram_cache.footprint_granularity_lines
         )
 
+    @property
+    def _resident(self):
+        """The FIFO residency map (exposed for tests and diagnostics)."""
+        return self.store.entries
+
     def is_resident(self, page: int) -> bool:
-        return page in self._resident
+        return self.store.is_resident(page)
 
     # ------------------------------------------------------------------ access
 
@@ -60,10 +70,10 @@ class TaglessDramCache(DramCacheScheme):
         if request.is_writeback:
             return self._writeback(now, request, page)
 
-        if page in self._resident:
+        if self.store.is_resident(page):
             latency = self.read_in(now, request.addr, self.line_size, TrafficCategory.HIT_DATA)
             if request.is_write:
-                self._resident[page] = True
+                self.store.mark_dirty(page)
             self.footprint.on_access(page, request.addr)
             self.record_hit(True)
             return AccessResult(latency=latency, dram_cache_hit=True, served_by="in-package")
@@ -77,33 +87,30 @@ class TaglessDramCache(DramCacheScheme):
 
     def _fill(self, now: int, request: MemRequest, page: int) -> None:
         """Replacement on every miss with FIFO eviction."""
-        if len(self._resident) >= self.capacity_pages:
-            victim_page, victim_dirty = self._resident.popitem(last=False)
-            victim_addr = victim_page * self.page_size
+        victim = self.store.pop_victim_if_full()
+        if victim is not None:
+            victim_page, victim_dirty = victim
             if victim_dirty:
                 dirty_bytes = self.footprint.writeback_bytes(victim_page)
-                self.background_in(now, victim_addr, dirty_bytes, TrafficCategory.REPLACEMENT)
-                self.background_off(now, victim_addr, dirty_bytes, TrafficCategory.WRITEBACK)
+                self.flows.evict_dirty_to_off(now, victim_page * self.page_size, dirty_bytes)
                 self.stats.inc("dirty_page_evictions")
             self.footprint.on_evict(victim_page)
             self.stats.inc("page_evictions")
 
-        self._resident[page] = request.is_write
+        self.store.insert(page, request.is_write)
         self.footprint.on_fill(page)
         self.footprint.on_access(page, request.addr)
         fill_bytes = self.footprint.predicted_fill_bytes()
-        page_addr = page * self.page_size
-        self.background_off(now, page_addr, fill_bytes, TrafficCategory.REPLACEMENT)
-        self.background_in(now, page_addr, fill_bytes, TrafficCategory.REPLACEMENT)
+        self.flows.fill_from_off(now, page * self.page_size, fill_bytes)
         self.stats.inc("page_fills")
         self.stats.inc("fill_bytes", fill_bytes)
 
     def _writeback(self, now: int, request: MemRequest, page: int) -> AccessResult:
         # The mapping is known from the PTE/TLB extension, so no tag probe.
-        if page in self._resident:
-            self._resident[page] = True
-            self.background_in(now, request.addr, self.line_size, TrafficCategory.WRITEBACK)
+        if self.store.is_resident(page):
+            self.store.mark_dirty(page)
+            self.flows.writeback_to_cache(now, request.addr)
             self.footprint.on_access(page, request.addr)
             return AccessResult(latency=0, dram_cache_hit=True, served_by="in-package")
-        self.background_off(now, request.addr, self.line_size, TrafficCategory.WRITEBACK)
+        self.flows.writeback_to_off(now, request.addr)
         return AccessResult(latency=0, dram_cache_hit=False, served_by="off-package")

@@ -15,30 +15,28 @@ methodology (Section 5.1.1) we model:
 Misses pay the speculative tag+data read in the DRAM cache (96 B, the way
 prediction still has to be verified) plus the off-package demand fetch, for
 roughly 2x latency.
+
+Mechanically the scheme is a composition of a
+:class:`~repro.dramcache.components.stores.SetAssociativePageStore` (residency
++ LRU), a :class:`~repro.dramcache.components.traffic.TagProbe` (in-DRAM tag
+reads/updates) and :class:`~repro.dramcache.components.traffic.TransferFlows`
+(footprint-sized fills and dirty-page evictions).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Optional
 
 from repro.cache.replacement import LruPolicy
 from repro.dram.device import DramDevice
-from repro.dramcache.base import TAG_ACCESS_BYTES, DramCacheScheme, OsServices
+from repro.dramcache.base import DramCacheScheme, OsServices
+from repro.dramcache.components.stores import SetAssociativePageStore
+from repro.dramcache.components.traffic import TagProbe, TransferFlows
 from repro.dramcache.footprint import FootprintPredictor
 from repro.memctrl.request import AccessResult, MemRequest
 from repro.sim.config import SystemConfig
 from repro.sim.stats import TrafficCategory
 from repro.util.rng import DeterministicRng
-
-
-class _PageEntry:
-    """One resident page frame in the Unison cache."""
-
-    __slots__ = ("page", "dirty")
-
-    def __init__(self, page: int) -> None:
-        self.page = page
-        self.dirty = False
 
 
 class UnisonCache(DramCacheScheme):
@@ -58,20 +56,19 @@ class UnisonCache(DramCacheScheme):
         self.ways = config.dram_cache.ways
         total_pages = config.in_package_dram.capacity_bytes // self.page_size
         self.num_sets = max(1, total_pages // self.ways)
-        self._sets: List[List[Optional[_PageEntry]]] = [[None] * self.ways for _ in range(self.num_sets)]
-        self._where: Dict[int, tuple] = {}
-        self._lru = LruPolicy(self.num_sets, self.ways)
+        self.store = SetAssociativePageStore(
+            self.num_sets, self.ways, LruPolicy(self.num_sets, self.ways)
+        )
+        self.probe = TagProbe(self)
+        self.flows = TransferFlows(self)
         self.footprint = FootprintPredictor(
             self.page_size, granularity_lines=config.dram_cache.footprint_granularity_lines
         )
 
     # ------------------------------------------------------------------ helpers
 
-    def _set_of(self, page: int) -> int:
-        return page % self.num_sets
-
     def is_resident(self, page: int) -> bool:
-        return page in self._where
+        return self.store.is_resident(page)
 
     # ------------------------------------------------------------------ access
 
@@ -80,7 +77,7 @@ class UnisonCache(DramCacheScheme):
         if request.is_writeback:
             return self._writeback(now, request, page)
 
-        location = self._where.get(page)
+        location = self.store.lookup(page)
         if location is not None:
             return self._hit(now, request, page, location)
         return self._miss(now, request, page)
@@ -88,21 +85,17 @@ class UnisonCache(DramCacheScheme):
     def _hit(self, now: int, request: MemRequest, page: int, location: tuple) -> AccessResult:
         set_index, way = location
         # Data + tag read in one access (perfect way prediction), LRU update write.
-        latency = self.read_in(now, request.addr, self.line_size, TrafficCategory.HIT_DATA)
-        self.background_in(now, request.addr, TAG_ACCESS_BYTES, TrafficCategory.TAG)
-        self.background_in(now, request.addr, TAG_ACCESS_BYTES, TrafficCategory.TAG)
-        self._lru.on_access(set_index, way)
-        entry = self._sets[set_index][way]
-        if request.is_write and entry is not None:
-            entry.dirty = True
+        latency = self.probe.hit_read(now, request.addr, tag_accesses=2)
+        self.store.touch(set_index, way)
+        if request.is_write:
+            self.store.mark_dirty(set_index, way)
         self.footprint.on_access(page, request.addr)
         self.record_hit(True)
         return AccessResult(latency=latency, dram_cache_hit=True, served_by="in-package")
 
     def _miss(self, now: int, request: MemRequest, page: int) -> AccessResult:
         # Speculative tag + data read in the DRAM cache, then the real fetch.
-        spec_latency = self.read_in(now, request.addr, self.line_size, TrafficCategory.MISS_DATA)
-        self.background_in(now, request.addr, TAG_ACCESS_BYTES, TrafficCategory.TAG)
+        spec_latency = self.probe.speculative_read(now, request.addr)
         off_latency = self.read_off(now + spec_latency, request.addr, self.line_size, TrafficCategory.MISS_DATA)
         latency = spec_latency + off_latency
         self.record_hit(False)
@@ -111,17 +104,13 @@ class UnisonCache(DramCacheScheme):
 
     def _replace(self, now: int, request: MemRequest, page: int) -> None:
         """Replacement happens on every miss (Table 1)."""
-        set_index = self._set_of(page)
-        ways_valid = [entry is not None for entry in self._sets[set_index]]
-        victim_way = self._lru.victim(set_index, ways_valid)
-        victim = self._sets[set_index][victim_way]
+        store = self.store
+        set_index = store.set_of(page)
+        victim_way = store.victim_way(set_index)
+        victim = store.evict(set_index, victim_way)
         if victim is not None:
-            self._evict(now, victim)
-        entry = _PageEntry(page)
-        entry.dirty = request.is_write
-        self._sets[set_index][victim_way] = entry
-        self._where[page] = (set_index, victim_way)
-        self._lru.on_fill(set_index, victim_way)
+            self._evict(now, victim.page, victim.dirty)
+        store.install(set_index, victim_way, page, request.is_write)
         self.footprint.on_fill(page)
         self.footprint.on_access(page, request.addr)
 
@@ -129,34 +118,27 @@ class UnisonCache(DramCacheScheme):
         # into the DRAM cache, plus the tag update.
         fill_bytes = self.footprint.predicted_fill_bytes()
         page_addr = page * self.page_size
-        self.background_off(now, page_addr, fill_bytes, TrafficCategory.REPLACEMENT)
-        self.background_in(now, page_addr, fill_bytes, TrafficCategory.REPLACEMENT)
-        self.background_in(now, page_addr, TAG_ACCESS_BYTES, TrafficCategory.REPLACEMENT)
+        self.flows.fill_from_off(now, page_addr, fill_bytes)
+        self.flows.fill_metadata(now, page_addr)
         self.stats.inc("page_fills")
         self.stats.inc("fill_bytes", fill_bytes)
 
-    def _evict(self, now: int, victim: _PageEntry) -> None:
-        victim_addr = victim.page * self.page_size
-        if victim.dirty:
-            dirty_bytes = self.footprint.writeback_bytes(victim.page)
-            self.background_in(now, victim_addr, dirty_bytes, TrafficCategory.REPLACEMENT)
-            self.background_off(now, victim_addr, dirty_bytes, TrafficCategory.WRITEBACK)
+    def _evict(self, now: int, victim_page: int, victim_dirty: bool) -> None:
+        if victim_dirty:
+            dirty_bytes = self.footprint.writeback_bytes(victim_page)
+            self.flows.evict_dirty_to_off(now, victim_page * self.page_size, dirty_bytes)
             self.stats.inc("dirty_page_evictions")
-        self.footprint.on_evict(victim.page)
-        self._where.pop(victim.page, None)
+        self.footprint.on_evict(victim_page)
         self.stats.inc("page_evictions")
 
     def _writeback(self, now: int, request: MemRequest, page: int) -> AccessResult:
         # Writebacks must probe the in-DRAM tags to find the page.
-        self.background_in(now, request.addr, TAG_ACCESS_BYTES, TrafficCategory.TAG)
-        location = self._where.get(page)
+        self.probe.probe(now, request.addr)
+        location = self.store.lookup(page)
         if location is not None:
-            set_index, way = location
-            entry = self._sets[set_index][way]
-            if entry is not None:
-                entry.dirty = True
-            self.background_in(now, request.addr, self.line_size, TrafficCategory.WRITEBACK)
+            self.store.mark_dirty(*location)
+            self.flows.writeback_to_cache(now, request.addr)
             self.footprint.on_access(page, request.addr)
             return AccessResult(latency=0, dram_cache_hit=True, served_by="in-package")
-        self.background_off(now, request.addr, self.line_size, TrafficCategory.WRITEBACK)
+        self.flows.writeback_to_off(now, request.addr)
         return AccessResult(latency=0, dram_cache_hit=False, served_by="off-package")

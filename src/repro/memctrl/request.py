@@ -18,7 +18,7 @@ fields with defaults conflict with hand-written slots.)
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 
 class MappingInfo:
@@ -30,7 +30,7 @@ class MappingInfo:
         self.cached = cached
         self.way = way
 
-    def as_tuple(self) -> tuple:
+    def as_tuple(self) -> Tuple[bool, int]:
         """The (cached, way) pair."""
         return (self.cached, self.way)
 

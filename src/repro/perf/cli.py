@@ -12,15 +12,19 @@ absolute numbers.
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional
 
+from repro.dramcache.variants import available_scheme_names
 from repro.perf.harness import (
     DEFAULT_SCHEMES,
     DEFAULT_WORKLOADS,
     BenchCell,
     run_benchmark,
+    validate_matrix,
     write_report,
 )
+from repro.workloads.registry import available_workloads
 
 SMOKE_RECORDS_PER_CORE = 500
 DEFAULT_OUTPUT = "BENCH_hotpath.json"
@@ -30,9 +34,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.perf",
         description="Benchmark per-record simulation throughput (records/sec).",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "available schemes and variants:\n  "
+            + "\n  ".join(available_scheme_names())
+            + "\n\navailable workloads:\n  "
+            + "\n  ".join(available_workloads())
+        ),
     )
     parser.add_argument("--schemes", nargs="+", default=None,
-                        help=f"schemes to time (default: {' '.join(DEFAULT_SCHEMES)})")
+                        help=f"schemes or variants to time (default: {' '.join(DEFAULT_SCHEMES)}; "
+                             "see the list below, validated before any cell runs)")
     parser.add_argument("--workloads", nargs="+", default=None,
                         help=f"workloads to time (default: {' '.join(DEFAULT_WORKLOADS)})")
     parser.add_argument("--records", type=int, default=10000,
@@ -69,12 +81,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{cell.records_per_sec:>12,.0f} rec/s"
             )
 
+    schemes = args.schemes if args.schemes else list(DEFAULT_SCHEMES)
+    workloads = args.workloads if args.workloads else list(DEFAULT_WORKLOADS)
+    try:
+        # Only name validation is caught here: a failure mid-benchmark is a
+        # bug and should surface with its traceback, not a two-line error.
+        validate_matrix(schemes, workloads)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     if not args.quiet:
         print(f"# hot-path benchmark: {records} records/core, "
               f"{args.cores} cores, {repeats} repeat(s), preset={args.preset}")
     payload = run_benchmark(
-        schemes=args.schemes,
-        workloads=args.workloads,
+        schemes=schemes,
+        workloads=workloads,
         records_per_core=records,
         num_cores=args.cores,
         scale=args.scale,

@@ -24,15 +24,38 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional
 
+from repro.dramcache.variants import available_scheme_names, is_known_scheme
 from repro.sim.config import SystemConfig
 from repro.sim.engine import SimulationEngine
 from repro.sim.results import geometric_mean
 from repro.sim.system import System
-from repro.workloads.registry import get_workload
+from repro.workloads.registry import available_workloads, get_workload
 
 #: Default benchmark matrix (see module docstring for the rationale).
 DEFAULT_SCHEMES: List[str] = ["nocache", "alloy", "unison", "banshee"]
 DEFAULT_WORKLOADS: List[str] = ["gcc", "mcf", "pagerank"]
+
+
+def validate_matrix(schemes: List[str], workloads: List[str]) -> None:
+    """Reject unknown scheme/variant or workload names before any cell runs.
+
+    Raises ``ValueError`` listing the available names, so the CLI fails in
+    milliseconds with an actionable message instead of deep inside a
+    simulation cell.
+    """
+    unknown = [name for name in schemes if not is_known_scheme(name)]
+    if unknown:
+        raise ValueError(
+            f"unknown scheme(s)/variant(s) {', '.join(unknown)}; "
+            f"available: {', '.join(available_scheme_names())}"
+        )
+    known_workloads = available_workloads()
+    unknown = [name for name in workloads if name not in known_workloads]
+    if unknown:
+        raise ValueError(
+            f"unknown workload(s) {', '.join(unknown)}; "
+            f"available: {', '.join(known_workloads)}"
+        )
 
 
 @dataclass
@@ -85,7 +108,12 @@ def run_cell(
     cycles = 0.0
     for _ in range(repeats):
         config = _build_config(preset, scheme, num_cores, seed)
-        workload = get_workload(workload_name, num_cores, scale=scale, seed=seed)
+        # Build the workload at the scheme's page size so page-size variants
+        # simulate a consistent system (page table, TLBs and cache agree).
+        workload = get_workload(
+            workload_name, num_cores, scale=scale, seed=seed,
+            page_size=config.dram_cache.page_size,
+        )
         engine = SimulationEngine(System(config, workload))
         start = time.perf_counter()
         result = engine.run(records_per_core)
@@ -126,6 +154,7 @@ def run_benchmark(
     """
     schemes = schemes if schemes else list(DEFAULT_SCHEMES)
     workloads = workloads if workloads else list(DEFAULT_WORKLOADS)
+    validate_matrix(schemes, workloads)
     cells: List[BenchCell] = []
     started = time.perf_counter()
     for scheme in schemes:

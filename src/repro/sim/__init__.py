@@ -1,4 +1,13 @@
-"""Simulation engine: configuration, statistics, system assembly and results."""
+"""Simulation engine: configuration, statistics, system assembly and results.
+
+Only the leaf modules (configuration, statistics, results) are imported
+eagerly.  :class:`SimulationEngine` and :class:`System` pull in the whole
+simulator — cores, caches, DRAM devices, schemes — and almost every one of
+those modules itself imports :mod:`repro.sim.config`; loading them from this
+package ``__init__`` would make any ``repro.sim.config`` import re-enter
+whichever package is mid-import.  PEP 562 lazy attributes keep
+``from repro.sim import System`` working without the cycle.
+"""
 
 from repro.sim.config import (
     CacheLevelConfig,
@@ -9,10 +18,8 @@ from repro.sim.config import (
     SystemConfig,
     TlbConfig,
 )
-from repro.sim.engine import SimulationEngine
 from repro.sim.results import SimulationResults
 from repro.sim.stats import StatsSet, TrafficCategory, TrafficStats
-from repro.sim.system import System
 
 __all__ = [
     "CacheLevelConfig",
@@ -29,3 +36,15 @@ __all__ = [
     "TrafficStats",
     "System",
 ]
+
+
+def __getattr__(name: str):
+    if name == "SimulationEngine":
+        from repro.sim.engine import SimulationEngine
+
+        return SimulationEngine
+    if name == "System":
+        from repro.sim.system import System
+
+        return System
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -167,9 +167,27 @@ class CoreConfig:
 
 @dataclass
 class DramCacheConfig:
-    """DRAM-cache scheme selection and parameters (Table 3)."""
+    """DRAM-cache scheme selection and parameters (Table 3).
+
+    ``scheme`` may name a base scheme or a registered variant
+    (:mod:`repro.dramcache.variants`).  Variant resolution happens *here*,
+    at construction time: the variant's field overrides are folded into
+    this dataclass and the resolved base is recorded in ``base_scheme``,
+    so every consumer of the configuration — workload builders, page
+    tables, cell keys, result metadata — sees the values the scheme will
+    actually simulate with.  ``base_scheme`` also makes a resolved config
+    self-contained: a worker process (or a later session) can build the
+    scheme without the registering process's runtime registry.
+    """
 
     scheme: str = "banshee"
+    #: Resolved by __post_init__; leave at the default when constructing.
+    base_scheme: str = ""
+    #: Field values a preset supplied (see :func:`preset_dram_cache`).  A
+    #: variant may fold over these silently (they are baselines, not user
+    #: intent), and ``with_scheme`` restores them when a variant's delta is
+    #: reverted.  Leave at the default when constructing directly.
+    preset_defaults: Dict[str, object] = field(default_factory=dict)
     ways: int = 4
     page_size: int = PAGE_SIZE_4K
 
@@ -210,17 +228,40 @@ class DramCacheConfig:
     bandwidth_balance_target: float = 0.8
 
     def __post_init__(self) -> None:
-        known = {
-            "nocache",
-            "cacheonly",
-            "alloy",
-            "unison",
-            "tdc",
-            "hma",
-            "banshee",
-        }
-        if self.scheme not in known:
-            raise ValueError(f"unknown DRAM cache scheme {self.scheme!r}; expected one of {sorted(known)}")
+        # Imported here, not at module level: the variant registry lives in
+        # repro.dramcache (which imports this module).  Resolving against
+        # the registry is what lets a declared variant name ("banshee-tb4k")
+        # flow through every layer that carries a SystemConfig.
+        from repro.dramcache.variants import BASE_SCHEMES, resolve_scheme
+
+        try:
+            base, overrides = resolve_scheme(self.scheme)
+        except ValueError:
+            # A runtime-registered variant resolved in another process
+            # (campaign worker, store resume) is acceptable: the overrides
+            # were folded into the field values when the config was first
+            # built, and base_scheme says what to construct.
+            if self.base_scheme not in BASE_SCHEMES:
+                raise
+        else:
+            defaults = {f.name: f.default for f in dataclasses.fields(self)}
+            for key, value in overrides.items():
+                current = getattr(self, key)
+                if (
+                    current != value
+                    and current != defaults[key]
+                    and current != self.preset_defaults.get(key, defaults[key])
+                ):
+                    # The caller explicitly set a field the variant also
+                    # sets (it is neither the dataclass default nor a preset
+                    # baseline): reject rather than silently resolve.
+                    raise ValueError(
+                        f"{key}={current!r} conflicts with variant {self.scheme!r} "
+                        f"(it sets {key}={value!r}); use base scheme {base!r} "
+                        f"with explicit overrides instead"
+                    )
+                setattr(self, key, value)
+            self.base_scheme = base
         if self.ways <= 0:
             raise ValueError("DRAM cache ways must be positive")
         if not is_power_of_two(self.page_size):
@@ -259,6 +300,19 @@ class DramCacheConfig:
         lines = page_size // CACHELINE_SIZE
         threshold = max(1, int(lines * sampling_coefficient / 2.0))
         return min(threshold, max(1, self.counter_max // 2))
+
+
+def preset_dram_cache(scheme: str, **preset_values) -> DramCacheConfig:
+    """Build a preset's ``DramCacheConfig``, recording the preset baselines.
+
+    Presets scale some DRAM-cache parameters (e.g. the tiny preset's
+    64-entry tag buffer).  Recording them in ``preset_defaults`` marks them
+    as baselines rather than user intent: a variant that sets the same
+    parameter wins silently (``banshee-tb4k`` means a 4096-entry tag buffer
+    on every preset), and ``with_scheme`` restores the preset value when a
+    variant's delta is reverted.
+    """
+    return DramCacheConfig(scheme=scheme, preset_defaults=dict(preset_values), **preset_values)
 
 
 @dataclass
@@ -310,7 +364,7 @@ class SystemConfig:
             l2=CacheLevelConfig(size_bytes=128 * KB, ways=8, hit_latency=10),
             l3=CacheLevelConfig(size_bytes=8 * MB, ways=16, hit_latency=30),
             tlb=TlbConfig(entries=64),
-            dram_cache=DramCacheConfig(scheme=scheme),
+            dram_cache=preset_dram_cache(scheme),
             in_package_dram=DramConfig(name="in-package", capacity_bytes=1 * GB, num_channels=4),
             off_package_dram=DramConfig(name="off-package", capacity_bytes=64 * GB, num_channels=1),
         )
@@ -334,7 +388,7 @@ class SystemConfig:
             l2=CacheLevelConfig(size_bytes=64 * KB, ways=8, hit_latency=10),
             l3=CacheLevelConfig(size_bytes=256 * KB, ways=16, hit_latency=30),
             tlb=TlbConfig(entries=64),
-            dram_cache=DramCacheConfig(scheme=scheme, tag_buffer_entries=256),
+            dram_cache=preset_dram_cache(scheme, tag_buffer_entries=256),
             in_package_dram=DramConfig(
                 name="in-package", capacity_bytes=8 * MB, num_channels=4, bandwidth_scale=bandwidth_scale
             ),
@@ -355,7 +409,7 @@ class SystemConfig:
             l2=CacheLevelConfig(size_bytes=8 * KB, ways=4, hit_latency=10),
             l3=CacheLevelConfig(size_bytes=32 * KB, ways=8, hit_latency=30),
             tlb=TlbConfig(entries=16),
-            dram_cache=DramCacheConfig(scheme=scheme, tag_buffer_entries=64, tag_buffer_ways=4),
+            dram_cache=preset_dram_cache(scheme, tag_buffer_entries=64, tag_buffer_ways=4),
             in_package_dram=DramConfig(name="in-package", capacity_bytes=1 * MB, num_channels=2),
             off_package_dram=DramConfig(name="off-package", capacity_bytes=1 * GB, num_channels=1),
             seed=seed,
@@ -364,8 +418,31 @@ class SystemConfig:
     # ------------------------------------------------------------------ helpers
 
     def with_scheme(self, scheme: str, **dram_cache_overrides) -> "SystemConfig":
-        """Return a copy of this configuration with a different DRAM cache scheme."""
-        new_dc = dataclasses.replace(self.dram_cache, scheme=scheme, **dram_cache_overrides)
+        """Return a copy of this configuration with a different DRAM cache scheme.
+
+        ``scheme`` may be a base scheme or a variant name (validated here, so
+        a typo'd variant fails loudly instead of riding the carried
+        ``base_scheme``).  Fields the *current* scheme's variant had folded
+        in are reverted first — to the preset's value when the configuration
+        came from a preset, else to the dataclass default — so switching
+        between variants of one axis (or back to the base scheme) works.
+        The new variant's overrides are folded back in by
+        ``DramCacheConfig.__post_init__``, which rejects explicit overrides
+        for a field the new variant also sets rather than silently resolving
+        either way — ask for the base scheme with explicit overrides instead.
+        """
+        from repro.dramcache.variants import get_variant, resolve_scheme
+
+        resolve_scheme(scheme)  # raises ValueError listing names on a typo
+        dram_cache = self.dram_cache
+        defaults = {f.name: f.default for f in dataclasses.fields(DramCacheConfig)}
+        reverts: Dict[str, object] = {}
+        old_variant = get_variant(dram_cache.scheme)
+        if old_variant is not None:
+            for key in old_variant.overrides:
+                if key not in dram_cache_overrides:
+                    reverts[key] = dram_cache.preset_defaults.get(key, defaults[key])
+        new_dc = dataclasses.replace(dram_cache, scheme=scheme, **reverts, **dram_cache_overrides)
         return dataclasses.replace(self, dram_cache=new_dc)
 
     def with_overrides(self, **overrides) -> "SystemConfig":

@@ -15,7 +15,7 @@ memory requests propagate (Section 4.3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, Optional, Tuple
 
 from repro.vm.physical_memory import FrameAllocator
 from repro.vm.reverse_mapping import ReverseMapping
@@ -33,7 +33,7 @@ class PageTableEntry:
     generation: int = 0
 
     @property
-    def mapping_bits(self) -> tuple:
+    def mapping_bits(self) -> Tuple[bool, int]:
         """The (cached, way) pair copied into TLB entries and memory requests."""
         return (self.cached, self.way)
 

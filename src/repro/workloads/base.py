@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import zlib
 from abc import ABC, abstractmethod
-from typing import Iterator
+from typing import Dict, Iterator
 
 from repro.cpu.trace import TraceRecord
 from repro.util.rng import DeterministicRng
@@ -70,7 +70,7 @@ class Workload(ABC):
         """Footprint in (4 KB-equivalent) pages."""
         return self.footprint_bytes // self.page_size
 
-    def describe(self) -> dict:
+    def describe(self) -> Dict[str, object]:
         """Human-readable summary used by examples and reports."""
         return {
             "name": self.name,

@@ -52,7 +52,7 @@ class MixWorkload(Workload):
         member = self._members[core_id]
         return member.trace(0, base=core_id * GB)
 
-    def describe(self) -> dict:
+    def describe(self) -> Dict[str, object]:
         info = super().describe()
         info["assignment"] = list(self.assignment)
         return info

@@ -23,7 +23,7 @@ paper has with its 1 GB cache and multi-GB footprints.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List
 
 from repro.sim.config import MB
 from repro.workloads.synthetic import (
@@ -67,7 +67,7 @@ SPEC_PARAMS: Dict[str, dict] = {
 }
 
 
-def spec_benchmark_names() -> list:
+def spec_benchmark_names() -> List[str]:
     """Benchmarks with a parameter entry."""
     return sorted(SPEC_PARAMS.keys())
 

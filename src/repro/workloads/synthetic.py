@@ -21,7 +21,7 @@ which keeps generation fast enough to be negligible next to simulation time.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -160,7 +160,7 @@ class SyntheticWorkload(Workload):
         """Base address of ``core_id``'s address-space slice (0 = shared space)."""
         return 0
 
-    def trace(self, core_id: int, base: int = None) -> Iterator[TraceRecord]:
+    def trace(self, core_id: int, base: Optional[int] = None) -> Iterator[TraceRecord]:
         rng = self.rng_for_core(core_id).generator
         region_base = base if base is not None else self.core_base(core_id)
         patterns = [(weight, factory(region_base)) for weight, factory in self.pattern_factories]

@@ -208,6 +208,9 @@ def test_factory_builds_every_scheme(scheme_env):
 def test_factory_rejects_unknown_scheme(scheme_env):
     config, in_dram, off_dram, rng = scheme_env("banshee")
     bad = config.with_overrides()
+    # Bypass config validation entirely; without a resolvable scheme or a
+    # recorded base_scheme the factory must refuse to build anything.
     object.__setattr__(bad.dram_cache, "scheme", "nonsense")
+    object.__setattr__(bad.dram_cache, "base_scheme", "")
     with pytest.raises(ValueError):
         create_scheme(bad, in_dram, off_dram, rng=rng)
