@@ -27,6 +27,7 @@ from repro.experiments.runner import (
 )
 from repro.sim.config import SystemConfig
 from repro.util.serde import dataclass_from_dict
+from repro.workloads.registry import TRACE_PREFIX, trace_path, validate_workload_name
 
 #: Normalised scheme entry: (display label, scheme name, DramCacheConfig overrides).
 SchemeEntry = Tuple[str, str, Dict]
@@ -58,6 +59,23 @@ def normalize_scheme(entry) -> SchemeEntry:
     return normalized
 
 
+def normalize_workload(name: str) -> str:
+    """Validate a workload axis entry (generator name or ``trace:<path>``).
+
+    Same up-front convention as schemes: a typo or a missing/corrupt trace
+    file fails at spec-construction time listing what is available, before
+    any worker process starts simulating.  ``trace:`` paths are resolved to
+    absolute paths so cells survive pickling into spawn-based workers
+    regardless of the worker's working directory.
+    """
+    name = str(name)
+    validate_workload_name(name)
+    path = trace_path(name)
+    if path is not None:
+        return TRACE_PREFIX + path
+    return name
+
+
 @dataclass
 class SweepGrid:
     """One rectangular sweep: the cross product of every axis below.
@@ -81,6 +99,7 @@ class SweepGrid:
             if not list(getattr(self, axis)):
                 raise ValueError(f"sweep axis {axis!r} must not be empty")
         self.schemes = [normalize_scheme(entry) for entry in self.schemes]
+        self.workloads = [normalize_workload(name) for name in self.workloads]
 
     @property
     def num_points(self) -> int:

@@ -13,7 +13,7 @@ that generating and iterating millions of them stays cheap in pure Python.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, NamedTuple
+from typing import Iterable, Iterator, List, NamedTuple, Sequence, Set, Tuple
 
 
 class TraceRecord(NamedTuple):
@@ -34,6 +34,9 @@ class TraceStats:
     writes: int = 0
     unique_pages: int = 0
     footprint_bytes: int = 0
+    #: Highest address touched (0 for an empty trace) — the address *reach*,
+    #: which bounds placement decisions the way a sparse footprint cannot.
+    max_addr: int = 0
 
     @property
     def write_fraction(self) -> float:
@@ -72,7 +75,14 @@ class TraceStream:
         self._pages.add(record.addr // self.page_size)
         self.stats.unique_pages = len(self._pages)
         self.stats.footprint_bytes = self.stats.unique_pages * self.page_size
+        if record.addr > self.stats.max_addr:
+            self.stats.max_addr = record.addr
         return record
+
+    @property
+    def pages(self) -> Set[int]:
+        """The set of page numbers touched so far (live view, do not mutate)."""
+        return self._pages
 
 
 def summarize(records: Iterable[TraceRecord], page_size: int = 4096) -> TraceStats:
@@ -81,3 +91,43 @@ def summarize(records: Iterable[TraceRecord], page_size: int = 4096) -> TraceSta
     for _record in stream:
         pass
     return stream.stats
+
+
+def summarize_streams(
+    streams: Sequence[Iterable[TraceRecord]], page_size: int = 4096
+) -> Tuple[TraceStats, List[TraceStats]]:
+    """Summarise a multi-core trace: per-core stats plus a combined view.
+
+    Counters (records, instructions, reads, writes) sum across cores, but
+    ``unique_pages``/``footprint_bytes`` are computed over the *union* of the
+    per-core page sets — graph workloads share vertex state between cores, so
+    summing per-core footprints would double-count shared pages.  This is the
+    accounting the trace subsystem stores in every capture's metadata.
+    """
+    per_core: List[TraceStats] = []
+    union: Set[int] = set()
+    for records in streams:
+        stream = TraceStream(records, page_size=page_size)
+        for _record in stream:
+            pass
+        union |= stream.pages
+        per_core.append(stream.stats)
+    return combine_stats(per_core, union, page_size), per_core
+
+
+def combine_stats(per_core: Sequence[TraceStats], shared_pages: Set[int], page_size: int) -> TraceStats:
+    """Fold per-core stats into one multi-core summary.
+
+    ``shared_pages`` must be the union of the per-core page sets (per-core
+    ``unique_pages`` counts cannot be summed — cores share pages).  Used by
+    :func:`summarize_streams` and by the trace writer's stored metadata.
+    """
+    return TraceStats(
+        records=sum(stats.records for stats in per_core),
+        instructions=sum(stats.instructions for stats in per_core),
+        reads=sum(stats.reads for stats in per_core),
+        writes=sum(stats.writes for stats in per_core),
+        unique_pages=len(shared_pages),
+        footprint_bytes=len(shared_pages) * page_size,
+        max_addr=max((stats.max_addr for stats in per_core), default=0),
+    )

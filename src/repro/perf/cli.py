@@ -40,13 +40,16 @@ def build_parser() -> argparse.ArgumentParser:
             + "\n  ".join(available_scheme_names())
             + "\n\navailable workloads:\n  "
             + "\n  ".join(available_workloads())
+            + "\n  trace:<path>.rtrace (replay a captured trace, "
+            "see python -m repro.trace)"
         ),
     )
     parser.add_argument("--schemes", nargs="+", default=None,
                         help=f"schemes or variants to time (default: {' '.join(DEFAULT_SCHEMES)}; "
                              "see the list below, validated before any cell runs)")
     parser.add_argument("--workloads", nargs="+", default=None,
-                        help=f"workloads to time (default: {' '.join(DEFAULT_WORKLOADS)})")
+                        help=f"workloads to time (default: {' '.join(DEFAULT_WORKLOADS)}; "
+                             "registry names or trace:<path> replays)")
     parser.add_argument("--records", type=int, default=10000,
                         help="trace records per core per cell (default 10000)")
     parser.add_argument("--cores", type=int, default=2, help="simulated cores (default 2)")
@@ -78,7 +81,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 f"{cell.scheme:10s} {cell.workload:10s} "
                 f"{cell.records:>8d} rec  {cell.best_seconds:8.3f} s  "
-                f"{cell.records_per_sec:>12,.0f} rec/s"
+                f"{cell.records_per_sec:>12,.0f} rec/s  "
+                f"gen {cell.generation_fraction:5.1%}"
             )
 
     schemes = args.schemes if args.schemes else list(DEFAULT_SCHEMES)
@@ -86,7 +90,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         # Only name validation is caught here: a failure mid-benchmark is a
         # bug and should surface with its traceback, not a two-line error.
-        validate_matrix(schemes, workloads)
+        validate_matrix(schemes, workloads, records_per_core=records)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -112,5 +116,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{len(payload['cells'])} cells "
         f"({aggregate['total_records']} records in {aggregate['total_wall_seconds']:.1f} s)"
     )
+    for name, split in payload["workload_time_split"].items():
+        print(
+            f"  {name}: generation {split['generation_seconds']:.3f} s, "
+            f"simulation {split['simulation_seconds']:.3f} s "
+            f"({split['generation_fraction']:.1%} generating records)"
+        )
     print(f"wrote {args.output}")
     return 0

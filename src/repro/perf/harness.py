@@ -17,6 +17,7 @@ sits in between.
 
 from __future__ import annotations
 
+import itertools
 import json
 import platform
 import sys
@@ -29,19 +30,25 @@ from repro.sim.config import SystemConfig
 from repro.sim.engine import SimulationEngine
 from repro.sim.results import geometric_mean
 from repro.sim.system import System
-from repro.workloads.registry import available_workloads, get_workload
+from repro.workloads.base import Workload
+from repro.workloads.registry import get_workload, trace_path, validate_workload_name
 
 #: Default benchmark matrix (see module docstring for the rationale).
 DEFAULT_SCHEMES: List[str] = ["nocache", "alloy", "unison", "banshee"]
 DEFAULT_WORKLOADS: List[str] = ["gcc", "mcf", "pagerank"]
 
 
-def validate_matrix(schemes: List[str], workloads: List[str]) -> None:
+def validate_matrix(
+    schemes: List[str], workloads: List[str], records_per_core: Optional[int] = None
+) -> None:
     """Reject unknown scheme/variant or workload names before any cell runs.
 
     Raises ``ValueError`` listing the available names, so the CLI fails in
     milliseconds with an actionable message instead of deep inside a
-    simulation cell.
+    simulation cell.  Workloads may be registry names or ``trace:<path>``
+    replays (the file is opened and its header checked here; with
+    ``records_per_core`` given, a trace too short for the budget is also
+    rejected up front rather than mid-matrix).
     """
     unknown = [name for name in schemes if not is_known_scheme(name)]
     if unknown:
@@ -49,18 +56,31 @@ def validate_matrix(schemes: List[str], workloads: List[str]) -> None:
             f"unknown scheme(s)/variant(s) {', '.join(unknown)}; "
             f"available: {', '.join(available_scheme_names())}"
         )
-    known_workloads = available_workloads()
-    unknown = [name for name in workloads if name not in known_workloads]
-    if unknown:
-        raise ValueError(
-            f"unknown workload(s) {', '.join(unknown)}; "
-            f"available: {', '.join(known_workloads)}"
-        )
+    for name in workloads:
+        validate_workload_name(name)
+        path = trace_path(name)
+        if path is not None and records_per_core is not None:
+            from repro.trace.format import read_meta
+
+            available = min(read_meta(path).records_per_core)
+            if records_per_core > available:
+                raise ValueError(
+                    f"trace workload {name!r} holds only {available} records per "
+                    f"core, --records {records_per_core} requested"
+                )
 
 
 @dataclass
 class BenchCell:
-    """Throughput measurement for one scheme × workload cell."""
+    """Throughput measurement for one scheme × workload cell.
+
+    ``best_seconds`` times the whole engine loop, which pulls records from
+    the workload generator inline — so it includes record generation.
+    ``generation_seconds`` times a standalone pass over the same record
+    budget (fresh workload, no simulation), giving the generation vs.
+    simulation split; for ``trace:`` workloads it measures file decode
+    instead of generator cost, which is the saving trace capture buys.
+    """
 
     scheme: str
     workload: str
@@ -70,9 +90,29 @@ class BenchCell:
     records_per_sec: float
     instructions: int
     cycles: float
+    generation_seconds: float = 0.0
+
+    @property
+    def simulation_seconds(self) -> float:
+        """Best wall time minus the measured record-generation share."""
+        return max(self.best_seconds - self.generation_seconds, 0.0)
+
+    @property
+    def generation_fraction(self) -> float:
+        """Share of the best repeat spent generating (or decoding) records.
+
+        Clamped to [0, 1]: at smoke-sized budgets the standalone generation
+        pass can measure marginally slower than the whole best repeat.
+        """
+        if self.best_seconds <= 0:
+            return 0.0
+        return min(self.generation_seconds / self.best_seconds, 1.0)
 
     def to_dict(self) -> Dict[str, object]:
-        return asdict(self)
+        payload = asdict(self)
+        payload["simulation_seconds"] = self.simulation_seconds
+        payload["generation_fraction"] = self.generation_fraction
+        return payload
 
 
 def _build_config(preset: str, scheme: str, num_cores: int, seed: int) -> SystemConfig:
@@ -83,6 +123,20 @@ def _build_config(preset: str, scheme: str, num_cores: int, seed: int) -> System
     if preset == "paper":
         return SystemConfig.paper_default(scheme=scheme)
     raise ValueError(f"unknown preset {preset!r}; expected scaled, tiny or paper")
+
+
+def measure_generation(workload: Workload, records_per_core: int) -> float:
+    """Time a pure record-generation pass (no simulation) over the budget.
+
+    Drains each core's stream for ``records_per_core`` records exactly the
+    way the engine would — so the measurement covers generator arithmetic
+    (or trace-file decode) plus iterator overhead, and nothing else.
+    """
+    start = time.perf_counter()
+    for core_id in range(workload.num_cores):
+        for _record in itertools.islice(workload.trace(core_id), records_per_core):
+            pass
+    return time.perf_counter() - start
 
 
 def run_cell(
@@ -99,6 +153,8 @@ def run_cell(
 
     Every repeat builds a fresh system so repeats are identical simulations
     (identical record counts and results) that differ only in wall time.
+    One extra fresh workload is drained without simulating to measure the
+    record-generation share of the cell (see :class:`BenchCell`).
     """
     if repeats <= 0:
         raise ValueError("repeats must be positive")
@@ -106,7 +162,8 @@ def run_cell(
     records = 0
     instructions = 0
     cycles = 0.0
-    for _ in range(repeats):
+    generation_seconds = 0.0
+    for repeat in range(repeats):
         config = _build_config(preset, scheme, num_cores, seed)
         # Build the workload at the scheme's page size so page-size variants
         # simulate a consistent system (page table, TLBs and cache agree).
@@ -114,6 +171,14 @@ def run_cell(
             workload_name, num_cores, scale=scale, seed=seed,
             page_size=config.dram_cache.page_size,
         )
+        if repeat == 0:
+            generation_seconds = measure_generation(
+                get_workload(
+                    workload_name, num_cores, scale=scale, seed=seed,
+                    page_size=config.dram_cache.page_size,
+                ),
+                records_per_core,
+            )
         engine = SimulationEngine(System(config, workload))
         start = time.perf_counter()
         result = engine.run(records_per_core)
@@ -132,6 +197,7 @@ def run_cell(
         records_per_sec=records / best_seconds if best_seconds > 0 else 0.0,
         instructions=instructions,
         cycles=cycles,
+        generation_seconds=generation_seconds,
     )
 
 
@@ -154,7 +220,7 @@ def run_benchmark(
     """
     schemes = schemes if schemes else list(DEFAULT_SCHEMES)
     workloads = workloads if workloads else list(DEFAULT_WORKLOADS)
-    validate_matrix(schemes, workloads)
+    validate_matrix(schemes, workloads, records_per_core=records_per_core)
     cells: List[BenchCell] = []
     started = time.perf_counter()
     for scheme in schemes:
@@ -173,6 +239,19 @@ def run_benchmark(
             if progress is not None:
                 progress(cell)
     total_seconds = time.perf_counter() - started
+    # Per-workload generation vs. simulation split, averaged over schemes
+    # (generation cost is a property of the workload, not the scheme; the
+    # small per-scheme spread is measurement noise).
+    workload_split: Dict[str, Dict[str, float]] = {}
+    for workload_name in workloads:
+        group = [cell for cell in cells if cell.workload == workload_name]
+        gen = sum(cell.generation_seconds for cell in group) / len(group)
+        best = sum(cell.best_seconds for cell in group) / len(group)
+        workload_split[workload_name] = {
+            "generation_seconds": gen,
+            "simulation_seconds": max(best - gen, 0.0),
+            "generation_fraction": min(gen / best, 1.0) if best > 0 else 0.0,
+        }
     return {
         "name": "hotpath",
         "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -189,6 +268,7 @@ def run_benchmark(
             "workloads": workloads,
         },
         "cells": [cell.to_dict() for cell in cells],
+        "workload_time_split": workload_split,
         "aggregate": {
             "geomean_records_per_sec": geometric_mean([cell.records_per_sec for cell in cells]),
             "min_records_per_sec": min((cell.records_per_sec for cell in cells), default=0.0),

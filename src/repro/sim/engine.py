@@ -55,6 +55,13 @@ class SimulationEngine:
         start_time = time.perf_counter()
         system = self.system
         workload = system.workload
+        available = workload.max_records_per_core
+        if available is not None and max_records_per_core > available:
+            raise ValueError(
+                f"workload {workload.name!r} holds only {available} records per core, "
+                f"{max_records_per_core} requested; shorten the run or capture a "
+                "longer trace"
+            )
         num_cores = system.config.num_cores
 
         iterators = [workload.trace(core_id) for core_id in range(num_cores)]

@@ -1,0 +1,45 @@
+"""Binary trace capture, transform and replay.
+
+Capture any registry workload to a compact, versioned ``.rtrace`` file
+(:func:`record_workload` / :func:`record_named`), derive new scenarios from
+captures without regenerating anything (:mod:`repro.trace.transform`), and
+replay a file bit-identically as a first-class workload
+(:class:`TraceWorkload`) — resolvable everywhere a workload name is
+accepted via the ``trace:<path>`` form.  ``python -m repro.trace`` is the
+command-line surface.
+"""
+
+from repro.trace.capture import record_named, record_workload
+from repro.trace.format import (
+    TraceFormatError,
+    TraceMeta,
+    TraceReader,
+    TraceWriter,
+    read_meta,
+    trace_digest,
+)
+from repro.trace.transform import (
+    filter_accesses,
+    interleave_traces,
+    remap_cores,
+    scale_footprint,
+    slice_trace,
+)
+from repro.trace.workload import TraceWorkload
+
+__all__ = [
+    "TraceFormatError",
+    "TraceMeta",
+    "TraceReader",
+    "TraceWriter",
+    "TraceWorkload",
+    "read_meta",
+    "record_named",
+    "record_workload",
+    "trace_digest",
+    "filter_accesses",
+    "interleave_traces",
+    "remap_cores",
+    "scale_footprint",
+    "slice_trace",
+]

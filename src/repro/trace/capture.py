@@ -1,0 +1,77 @@
+"""Capture workloads to ``.rtrace`` files.
+
+:func:`record_workload` snapshots any :class:`~repro.workloads.base.Workload`
+object; :func:`record_named` resolves a registry name first (including a
+``trace:`` name, which makes re-capture a cheap copy-with-truncate).  The
+capture pays the generator cost exactly once — every subsequent replay of the
+file streams packed records straight from disk.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional
+
+from repro.trace.format import TraceMeta, TraceWriter
+from repro.workloads.base import Workload
+
+
+def record_workload(
+    workload: Workload,
+    path: str,
+    records_per_core: int,
+    compress: bool = False,
+    source: Optional[Dict[str, object]] = None,
+) -> TraceMeta:
+    """Capture ``records_per_core`` records of every core of ``workload``.
+
+    The stored metadata mirrors the workload (name, mlp, page size,
+    footprint, seed) so that replaying the file is indistinguishable from
+    running the generator — including the ``workload`` field of the
+    resulting :class:`~repro.sim.results.SimulationResults`.
+    """
+    if records_per_core <= 0:
+        raise ValueError("records_per_core must be positive")
+    meta = TraceMeta(
+        name=workload.name,
+        num_cores=workload.num_cores,
+        page_size=workload.page_size,
+        mlp=workload.mlp,
+        footprint_bytes=workload.footprint_bytes,
+        seed=workload.seed,
+        source=dict(source) if source is not None else {"workload": workload.name},
+    )
+    with TraceWriter(path, meta, compress=compress) as writer:
+        for core_id in range(workload.num_cores):
+            writer.write_stream(
+                itertools.islice(workload.trace(core_id), records_per_core),
+                limit=records_per_core,
+            )
+    return writer.meta
+
+
+def record_named(
+    name: str,
+    path: str,
+    records_per_core: int,
+    num_cores: int,
+    scale: float = 1.0,
+    seed: int = 1,
+    page_size: int = 4096,
+    compress: bool = False,
+) -> TraceMeta:
+    """Capture a registry workload by name (the CLI ``record`` entry point)."""
+    # Imported here: the registry itself resolves ``trace:`` names through
+    # this package, so a module-level import would be circular.
+    from repro.workloads.registry import get_workload
+
+    workload = get_workload(name, num_cores, scale=scale, seed=seed, page_size=page_size)
+    source = {
+        "workload": name,
+        "num_cores": num_cores,
+        "scale": scale,
+        "seed": seed,
+        "page_size": page_size,
+        "records_per_core": records_per_core,
+    }
+    return record_workload(workload, path, records_per_core, compress=compress, source=source)

@@ -10,7 +10,12 @@ from repro.workloads.graph import (
     TriangleCountWorkload,
 )
 from repro.workloads.mixes import MixWorkload
-from repro.workloads.registry import available_workloads, get_workload
+from repro.workloads.registry import (
+    TRACE_PREFIX,
+    available_workloads,
+    get_workload,
+    validate_workload_name,
+)
 from repro.workloads.spec import SpecWorkload
 from repro.workloads.synthetic import SyntheticWorkload, ZipfPagePattern
 
@@ -23,8 +28,10 @@ __all__ = [
     "SgdWorkload",
     "TriangleCountWorkload",
     "MixWorkload",
+    "TRACE_PREFIX",
     "available_workloads",
     "get_workload",
+    "validate_workload_name",
     "SpecWorkload",
     "SyntheticWorkload",
     "ZipfPagePattern",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import zlib
 from abc import ABC, abstractmethod
-from typing import Dict, Iterator
+from typing import Dict, Iterator, Optional
 
 from repro.cpu.trace import TraceRecord
 from repro.util.rng import DeterministicRng
@@ -52,6 +52,17 @@ class Workload(ABC):
     @abstractmethod
     def trace(self, core_id: int) -> Iterator[TraceRecord]:
         """Yield the trace records for ``core_id``."""
+
+    @property
+    def max_records_per_core(self) -> Optional[int]:
+        """Records available on every core, or ``None`` when unbounded.
+
+        Generators synthesise records forever; a replayed capture is finite.
+        The engine refuses a record budget above this bound — a core that
+        silently ran out of records mid-run would skew the warmup threshold
+        and make the results incomparable to a full-length cell.
+        """
+        return None
 
     def rng_for_core(self, core_id: int) -> DeterministicRng:
         """Deterministic RNG stream for one core of this workload.

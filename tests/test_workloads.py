@@ -39,6 +39,25 @@ def test_registry_rejects_unknown():
         get_workload("nonsense", num_cores=2)
 
 
+def test_registry_error_lists_names_and_trace_form():
+    with pytest.raises(ValueError) as excinfo:
+        get_workload("nonsense", num_cores=2)
+    message = str(excinfo.value)
+    for name in ("pagerank", "mcf", "mix1"):
+        assert name in message
+    assert "trace:" in message
+
+
+def test_validate_workload_name():
+    from repro.workloads.registry import validate_workload_name
+
+    validate_workload_name("pagerank")
+    with pytest.raises(ValueError, match="trace:"):
+        validate_workload_name("nonsense")
+    with pytest.raises(ValueError, match="not found"):
+        validate_workload_name("trace:/nonexistent/x.rtrace")
+
+
 def test_traces_are_deterministic_per_seed():
     a = get_workload("mcf", num_cores=2, scale=0.1, seed=3)
     b = get_workload("mcf", num_cores=2, scale=0.1, seed=3)
@@ -106,6 +125,23 @@ def test_mix_cores_live_in_disjoint_gigabyte_slices():
     records1 = take(workload, 1, 300)
     assert max(r.addr for r in records0) < 1 << 30
     assert min(r.addr for r in records1) >= 1 << 30
+
+
+def test_mix_assignment_wraps_when_cores_exceed_definition():
+    """More cores than Table 4 entries: the benchmark list wraps around."""
+    benchmarks = MIX_DEFINITIONS["mix1"]
+    num_cores = len(benchmarks) + 2
+    workload = MixWorkload("mix1", num_cores=num_cores, scale=0.05)
+    assert workload.assignment == [benchmarks[core % len(benchmarks)] for core in range(num_cores)]
+    assert workload.assignment[len(benchmarks)] == benchmarks[0]
+    # The wrapped instance re-runs the same benchmark with a distinct seed,
+    # so its trace differs from core 0's even before rebasing...
+    first = take(workload, 0, 100)
+    wrapped = take(workload, len(benchmarks), 100)
+    assert [r.addr % (1 << 30) for r in first] != [r.addr % (1 << 30) for r in wrapped]
+    # ...and every core still lives in its own 1 GB slice.
+    assert all(r.addr >= len(benchmarks) * (1 << 30) for r in wrapped)
+    assert all(r.addr < (1 << 30) for r in first)
 
 
 def test_mix_rejects_unknown_name():
