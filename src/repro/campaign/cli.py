@@ -19,6 +19,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro.campaign.driver import CampaignReport, run_campaign
@@ -28,6 +30,8 @@ from repro.campaign.spec import PRESETS, CampaignSpec, SweepGrid
 from repro.campaign.store import ResultStore
 from repro.dramcache.variants import available_scheme_names, describe_variants
 from repro.experiments.report import format_table
+from repro.obs.events import ObsSink, read_events
+from repro.obs.heartbeat import is_stale, read_heartbeats
 
 
 def _optional_int(text: str) -> Optional[int]:
@@ -86,10 +90,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--force", action="store_true",
                             help="re-simulate cells the store already holds")
     run_parser.add_argument("--quiet", action="store_true", help="suppress per-cell progress")
+    run_parser.add_argument("--timeline", type=int, metavar="N",
+                            help="attach an interval timeline snapshotting every N records "
+                                 "(stored with each result; see python -m repro.obs)")
+    run_parser.add_argument("--no-obs", action="store_true",
+                            help="disable the event log / heartbeats under <store>/obs")
 
     status_parser = sub.add_parser("status", help="summarise a store directory")
     status_parser.add_argument("--store", required=True)
     status_parser.add_argument("--spec", help="JSON spec file: also report pending cells")
+    status_parser.add_argument("--live", action="store_true",
+                               help="show in-flight cells from <store>/obs heartbeats and events")
+    status_parser.add_argument("--poll", type=float, default=0.0, metavar="SECONDS",
+                               help="with --live: refresh every SECONDS until the campaign ends")
 
     export_parser = sub.add_parser("export", help="dump a store as CSV or JSON")
     export_parser.add_argument("--store", required=True)
@@ -127,6 +140,7 @@ def spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         "preset": args.preset,
         "scale": args.scale,
         "warmup_fraction": args.warmup,
+        "timeline_interval": getattr(args, "timeline", None),
     }
     for name, value in spec_fields.items():
         if value is not None:
@@ -140,14 +154,34 @@ def spec_from_args(args: argparse.Namespace) -> CampaignSpec:
     return CampaignSpec.from_dict(payload)
 
 
-def _print_progress(done: int, total: int, outcome: CellOutcome, stream) -> None:
+def _format_duration(seconds: float) -> str:
+    """Compact duration for progress lines: ``42s``, ``3m05s``, ``1h02m``."""
+    seconds = max(0.0, seconds)
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+def _print_progress(
+    done: int, total: int, outcome: CellOutcome, stream, start: Optional[float] = None
+) -> None:
     if outcome.from_store:
         status = "store"
     elif outcome.ok:
         status = f"{outcome.wall_seconds:.2f}s"
     else:
         status = "ERROR"
-    print(f"  [{done}/{total}] {outcome.cell.describe():<40s} {status}", file=stream)
+    timing = ""
+    if start is not None and done:
+        elapsed = time.perf_counter() - start
+        # Naive per-cell average: good enough to answer "tonight or tomorrow?".
+        eta = elapsed / done * (total - done)
+        timing = f"  ({_format_duration(elapsed)} elapsed, eta {_format_duration(eta)})"
+    print(f"  [{done}/{total}] {outcome.cell.describe():<40s} {status}{timing}", file=stream)
 
 
 def _report_table(report: CampaignReport) -> str:
@@ -174,9 +208,22 @@ def _report_table(report: CampaignReport) -> str:
 def cmd_run(args: argparse.Namespace, stream) -> int:
     spec = spec_from_args(args)
     store = ResultStore(args.store)
-    progress = None if args.quiet else (lambda d, t, o: _print_progress(d, t, o, stream))
+    obs = None if args.no_obs else ObsSink.for_directory(Path(args.store) / "obs")
+    start = time.perf_counter()
+    progress = None if args.quiet else (
+        lambda d, t, o: _print_progress(d, t, o, stream, start=start)
+    )
     print(f"campaign '{spec.name}': {spec.num_cells} cells -> {store.path}", file=stream)
-    report = run_campaign(spec, store=store, workers=args.workers, progress=progress, force=args.force)
+    errored = set(store.error_keys())
+    if errored:
+        retrying = sum(1 for cell in spec.cells() if cell.key() in errored)
+        if retrying:
+            print(f"retrying {retrying} previously errored cell(s)", file=stream)
+    if obs is not None:
+        print(f"obs: {obs.events_path} (watch with: status --store {args.store} --live)",
+              file=stream)
+    report = run_campaign(spec, store=store, workers=args.workers, progress=progress,
+                          force=args.force, obs=obs)
     counts = report.counts()
     print(file=stream)
     print(_report_table(report), file=stream)
@@ -191,19 +238,87 @@ def cmd_run(args: argparse.Namespace, stream) -> int:
     return 1 if report.errors else 0
 
 
+def _print_live(obs_dir: Path, stream) -> bool:
+    """One live telemetry snapshot from heartbeats + events; True once ended."""
+    events_path = obs_dir / "events.jsonl"
+    records = read_events(events_path) if events_path.exists() else []
+    last_start = -1
+    for index, record in enumerate(records):
+        if record.get("event") == "campaign_start":
+            last_start = index
+    campaign = records[last_start] if last_start >= 0 else None
+    finished = errors = 0
+    walls: List[float] = []
+    ended = False
+    for record in records[last_start + 1:]:
+        event = record.get("event")
+        if event == "cell_finish":
+            finished += 1
+            walls.append(float(record.get("wall_seconds", 0.0)))
+        elif event == "cell_error":
+            errors += 1
+        elif event == "campaign_end":
+            ended = True
+
+    beats = read_heartbeats(obs_dir / "heartbeats")
+    now = time.time()
+    live = [beat for beat in beats if not is_stale(beat, now=now)]
+
+    stamp = time.strftime("%H:%M:%S", time.localtime(now))
+    if campaign is not None:
+        pending = int(campaign.get("pending", 0))
+        remaining = max(0, pending - finished - errors)
+        line = (f"[{stamp}] campaign '{campaign.get('name')}': "
+                f"{finished}/{pending} done, {errors} errors, {remaining} remaining")
+        if ended:
+            line += " — finished"
+        elif walls and remaining:
+            eta = remaining * (sum(walls) / len(walls)) / max(1, len(live))
+            line += f", eta {_format_duration(eta)}"
+        print(line, file=stream)
+    else:
+        print(f"[{stamp}] no campaign_start event in {events_path}", file=stream)
+
+    if live:
+        rows = []
+        for beat in sorted(live, key=lambda b: str(b.get("worker"))):
+            in_flight = beat.get("cell") if beat.get("state") == "running" else "-"
+            elapsed = _format_duration(now - float(beat.get("started_ts", now)))
+            rows.append([beat.get("worker"), beat.get("state"), in_flight or "-",
+                         beat.get("cells_done", 0), elapsed])
+        print(format_table(["worker", "state", "in-flight cell", "done", "up"], rows),
+              file=stream)
+    elif not ended:
+        print(f"no live workers ({len(beats)} stale heartbeat(s))", file=stream)
+    return ended
+
+
 def cmd_status(args: argparse.Namespace, stream) -> int:
     store = ResultStore(args.store, create=False)
+    if args.live:
+        obs_dir = Path(args.store) / "obs"
+        while True:
+            ended = _print_live(obs_dir, stream)
+            if ended or not args.poll:
+                return 0
+            time.sleep(args.poll)
     info = store.status()
     print(f"store: {info['path']}", file=stream)
     print(f"cells: {info['cells']}", file=stream)
-    if info["by_scheme"]:
-        rows = [[scheme, count] for scheme, count in info["by_scheme"].items()]
+    if info["errors"]:
+        print(f"errors: {info['errors']} (retried on the next run)", file=stream)
+    if info["by_scheme"] or info["errors_by_scheme"]:
+        schemes = sorted(set(info["by_scheme"]) | set(info["errors_by_scheme"]))
+        rows = [[scheme, info["by_scheme"].get(scheme, 0),
+                 info["errors_by_scheme"].get(scheme, 0)] for scheme in schemes]
         print(file=stream)
-        print(format_table(["scheme", "cells"], rows), file=stream)
-    if info["by_workload"]:
-        rows = [[workload, count] for workload, count in info["by_workload"].items()]
+        print(format_table(["scheme", "cells", "errors"], rows), file=stream)
+    if info["by_workload"] or info["errors_by_workload"]:
+        workloads = sorted(set(info["by_workload"]) | set(info["errors_by_workload"]))
+        rows = [[workload, info["by_workload"].get(workload, 0),
+                 info["errors_by_workload"].get(workload, 0)] for workload in workloads]
         print(file=stream)
-        print(format_table(["workload", "cells"], rows), file=stream)
+        print(format_table(["workload", "cells", "errors"], rows), file=stream)
     if args.spec:
         spec = load_spec_file(args.spec)
         pending = sum(1 for cell in spec.cells() if cell.key() not in store)

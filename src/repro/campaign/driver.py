@@ -82,6 +82,7 @@ def run_campaign(
     workers: int = 1,
     progress: Optional[ProgressFn] = None,
     force: bool = False,
+    obs=None,
 ) -> CampaignReport:
     """Run (or resume) a campaign.
 
@@ -94,6 +95,9 @@ def run_campaign(
             reported first, then live cells as they complete.
         force: re-simulate even cells the store already holds (the fresh
             result overwrites the stored one).
+        obs: optional :class:`~repro.obs.events.ObsSink`; campaign/cell/run
+            events land in its JSONL log and workers heartbeat into its
+            directory (what ``status --live`` tails).
 
     Cells that expand to the same content key (an axis value equal to the
     preset default, or overlapping grids) are simulated once; the extra
@@ -127,6 +131,16 @@ def run_campaign(
             pending.append(index)
 
     executor = ParallelExecutor(workers) if workers > 1 else SerialExecutor()
+    events = obs.event_log() if obs is not None else None
+    if events is not None:
+        events.emit(
+            "campaign_start",
+            name=spec.name,
+            cells=total,
+            pending=len(pending),
+            from_store=done,
+            workers=workers,
+        )
 
     def on_progress(_done: int, _total: int, outcome: CellOutcome) -> None:
         nonlocal done
@@ -135,10 +149,14 @@ def run_campaign(
         # Ctrl-C mid-campaign loses at most the in-flight cells.
         if store is not None and outcome.ok:
             store.put(outcome.key, outcome.result, meta=outcome.cell.meta())
+        elif store is not None and outcome.error is not None:
+            # Failures persist too: status reports them, the next run
+            # retries them (the store reads errored keys as absent).
+            store.put_error(outcome.key, outcome.error, meta=outcome.cell.meta())
         if progress is not None:
             progress(done, total, outcome)
 
-    executed = executor.run([cells[i] for i in pending], progress=on_progress)
+    executed = executor.run([cells[i] for i in pending], progress=on_progress, obs=obs)
     if len(executed) != len(pending):
         raise RuntimeError(
             f"executor returned {len(executed)} outcomes for {len(pending)} cells"
@@ -159,4 +177,6 @@ def run_campaign(
 
     report = CampaignReport(spec=spec)
     report.outcomes = [outcomes_by_index[i] for i in range(total) if i in outcomes_by_index]
+    if events is not None:
+        events.emit("campaign_end", name=spec.name, **report.counts())
     return report

@@ -8,14 +8,23 @@ one bad configuration cannot sink a thousand-cell overnight run.
 Determinism: workloads are rebuilt inside each worker from (name, seed,
 scale, page_size), and the simulator is seeded from the cell alone, so the
 parallel path produces results bit-identical to the serial path (modulo
-``wall_time_seconds``, which measures the host).  Results cross the process
-boundary as ``SimulationResults.to_dict()`` payloads via pickle, which
-preserves floats exactly.
+``wall_time_seconds``, which measures the host) — including any attached
+interval timeline, which is built from simulated state only.  Results cross
+the process boundary as ``SimulationResults.to_dict()`` payloads via
+pickle, which preserves floats exactly.
+
+Observability: given an :class:`~repro.obs.events.ObsSink`, both executors
+emit structured ``cell_start``/``cell_finish``/``cell_error``/``heartbeat``
+events to its JSONL log (one appended line per event, safe across
+processes), and every worker process maintains a heartbeat file in the
+sink's heartbeat directory — what ``python -m repro.campaign status
+--live`` tails to show in-flight cells.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 import traceback
 from dataclasses import dataclass
@@ -23,6 +32,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.campaign.spec import CampaignCell
 from repro.experiments.runner import run_simulation
+from repro.obs.events import ObsSink
 from repro.sim.results import SimulationResults
 
 #: progress callback: (completed_count, total_count, outcome)
@@ -45,9 +55,33 @@ class CellOutcome:
         return self.result is not None
 
 
-def execute_cell(cell: CampaignCell) -> CellOutcome:
-    """Run one cell, capturing any exception as an error outcome."""
+def execute_cell(
+    cell: CampaignCell,
+    obs: Optional[ObsSink] = None,
+    worker: Optional[str] = None,
+    heartbeat=None,
+) -> CellOutcome:
+    """Run one cell, capturing any exception as an error outcome.
+
+    ``obs`` routes structured events (and, via ``heartbeat`` or a
+    per-process writer, liveness updates) to the campaign's sink; all four
+    of cell start/finish/error and heartbeats are emitted here so the
+    serial and parallel paths produce the same event stream shape.
+    """
     start = time.perf_counter()
+    key = cell.key()
+    events = obs.event_log() if obs is not None else None
+    worker = worker or f"pid-{os.getpid()}"
+    if heartbeat is None and obs is not None:
+        heartbeat = obs.heartbeat_writer(worker)
+    describe = cell.describe()
+    if heartbeat is not None:
+        heartbeat.beat(state="running", cell=describe, key=key)
+    if events is not None:
+        events.emit("cell_start", key=key, cell=describe, worker=worker,
+                    label=cell.label, scheme=cell.scheme,
+                    workload=cell.workload, seed=cell.seed)
+        events.emit("heartbeat", worker=worker, state="running", key=key)
     try:
         result = run_simulation(
             cell.config,
@@ -57,19 +91,47 @@ def execute_cell(cell: CampaignCell) -> CellOutcome:
             seed=cell.seed,
             page_size=cell.page_size,
             warmup_fraction=cell.warmup_fraction,
+            timeline_interval=cell.timeline_interval,
+            events=events,
         )
-        return CellOutcome(cell, cell.key(), result, wall_seconds=time.perf_counter() - start)
+        wall = time.perf_counter() - start
+        if heartbeat is not None:
+            heartbeat.finished_cell()
+            heartbeat.beat(state="idle")
+        if events is not None:
+            events.emit("cell_finish", key=key, cell=describe, worker=worker,
+                        wall_seconds=round(wall, 6))
+            events.emit("heartbeat", worker=worker, state="idle", key=key)
+        return CellOutcome(cell, key, result, wall_seconds=wall)
     except Exception as exc:  # noqa: BLE001 — per-cell isolation is the point
         detail = traceback.format_exc(limit=8)
         error = f"{type(exc).__name__}: {exc}\n{detail}"
-        return CellOutcome(cell, cell.key(), None, error=error,
-                           wall_seconds=time.perf_counter() - start)
+        wall = time.perf_counter() - start
+        if heartbeat is not None:
+            heartbeat.beat(state="idle")
+        if events is not None:
+            events.emit("cell_error", key=key, cell=describe, worker=worker,
+                        error=f"{type(exc).__name__}: {exc}",
+                        wall_seconds=round(wall, 6))
+            events.emit("heartbeat", worker=worker, state="idle", key=key)
+        return CellOutcome(cell, key, None, error=error, wall_seconds=wall)
 
 
-def _worker(payload: Tuple[int, CampaignCell]) -> Tuple[int, str, Optional[dict], Optional[str], float]:
+#: Per-process heartbeat writer for pool workers (processes are reused
+#: across cells, so the writer — and its cells_done counter — persists).
+_WORKER_HEARTBEAT = None
+
+
+def _worker(
+    payload: Tuple[int, CampaignCell, Optional[ObsSink]]
+) -> Tuple[int, str, Optional[dict], Optional[str], float]:
     """Pool worker: returns the result as a plain dict so transport is explicit."""
-    index, cell = payload
-    outcome = execute_cell(cell)
+    global _WORKER_HEARTBEAT
+    index, cell, obs = payload
+    worker = f"worker-{os.getpid()}"
+    if obs is not None and _WORKER_HEARTBEAT is None:
+        _WORKER_HEARTBEAT = obs.heartbeat_writer(worker)
+    outcome = execute_cell(cell, obs=obs, worker=worker, heartbeat=_WORKER_HEARTBEAT)
     result_dict = outcome.result.to_dict() if outcome.result is not None else None
     return (index, outcome.key, result_dict, outcome.error, outcome.wall_seconds)
 
@@ -77,10 +139,16 @@ def _worker(payload: Tuple[int, CampaignCell]) -> Tuple[int, str, Optional[dict]
 class SerialExecutor:
     """Run cells one after another in this process (the reference path)."""
 
-    def run(self, cells: Sequence[CampaignCell], progress: Optional[ProgressFn] = None) -> List[CellOutcome]:
+    def run(
+        self,
+        cells: Sequence[CampaignCell],
+        progress: Optional[ProgressFn] = None,
+        obs: Optional[ObsSink] = None,
+    ) -> List[CellOutcome]:
+        heartbeat = obs.heartbeat_writer("serial") if obs is not None else None
         outcomes: List[CellOutcome] = []
         for index, cell in enumerate(cells):
-            outcome = execute_cell(cell)
+            outcome = execute_cell(cell, obs=obs, worker="serial", heartbeat=heartbeat)
             outcomes.append(outcome)
             if progress is not None:
                 progress(index + 1, len(cells), outcome)
@@ -102,12 +170,17 @@ class ParallelExecutor:
         self.workers = workers
         self.mp_start_method = mp_start_method
 
-    def run(self, cells: Sequence[CampaignCell], progress: Optional[ProgressFn] = None) -> List[CellOutcome]:
+    def run(
+        self,
+        cells: Sequence[CampaignCell],
+        progress: Optional[ProgressFn] = None,
+        obs: Optional[ObsSink] = None,
+    ) -> List[CellOutcome]:
         if not cells:
             return []
         context = multiprocessing.get_context(self.mp_start_method)
         outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
-        payloads = list(enumerate(cells))
+        payloads = [(index, cell, obs) for index, cell in enumerate(cells)]
         done = 0
         with context.Pool(processes=self.workers) as pool:
             for index, key, result_dict, error, wall in pool.imap_unordered(_worker, payloads, chunksize=1):

@@ -43,9 +43,15 @@ EXPORT_COLUMNS: Sequence[str] = (
 
 
 def result_rows(store: ResultStore) -> List[Dict]:
-    """One flat dict per stored cell, ordered by insertion."""
+    """One flat dict per stored cell, ordered by insertion.
+
+    Error records (failed cells awaiting retry) carry no metrics and are
+    excluded; ``python -m repro.campaign status`` reports them instead.
+    """
     rows: List[Dict] = []
     for record in store.records():
+        if "result" not in record:
+            continue
         result = SimulationResults.from_dict(record["result"])
         row = dict(record.get("meta", {}))
         summary = result.summary()

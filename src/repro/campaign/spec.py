@@ -138,6 +138,8 @@ class CampaignCell:
     warmup_fraction: float
     config: SystemConfig
     page_size: Optional[int] = None
+    #: Snapshot interval (records) for the obs timeline; None disables it.
+    timeline_interval: Optional[int] = None
 
     def key(self) -> str:
         """Content-hashed store key (see :func:`simulation_cell_key`)."""
@@ -149,6 +151,7 @@ class CampaignCell:
             self.seed,
             self.warmup_fraction,
             self.page_size,
+            self.timeline_interval,
         )
 
     def describe(self) -> str:
@@ -169,6 +172,7 @@ class CampaignCell:
             self.warmup_fraction,
             self.page_size,
             label=self.label,
+            timeline_interval=self.timeline_interval,
         )
 
 
@@ -184,6 +188,8 @@ class CampaignSpec:
     #: None keeps each preset's native core count (tiny: 2, scaled: 4, paper: 16).
     num_cores: Optional[int] = None
     preset: str = "tiny"
+    #: Attach a timeline observer snapshotting every N records (None = off).
+    timeline_interval: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -192,6 +198,8 @@ class CampaignSpec:
             raise ValueError(f"unknown preset {self.preset!r}; expected one of {PRESETS}")
         if self.records_per_core <= 0:
             raise ValueError("records_per_core must be positive")
+        if self.timeline_interval is not None and self.timeline_interval <= 0:
+            raise ValueError("timeline_interval must be positive (or None to disable)")
         if not 0.0 <= self.warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
         if not self.grids:
@@ -251,6 +259,7 @@ class CampaignSpec:
                         scale=self.scale,
                         warmup_fraction=self.warmup_fraction,
                         config=config,
+                        timeline_interval=self.timeline_interval,
                     )
                 )
         return expanded
@@ -270,6 +279,7 @@ class CampaignSpec:
             "warmup_fraction": self.warmup_fraction,
             "num_cores": self.num_cores,
             "preset": self.preset,
+            "timeline_interval": self.timeline_interval,
         }
 
     @classmethod

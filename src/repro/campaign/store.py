@@ -1,15 +1,24 @@
 """Persistent, append-only result store.
 
 The store is a directory holding one ``results.jsonl`` file.  Each line is a
-self-contained JSON record::
+self-contained JSON record — a completed result::
 
     {"key": <sha256>, "meta": {...sweep coordinates...}, "result": {...}}
+
+or a failed-cell outcome::
+
+    {"key": <sha256>, "meta": {...sweep coordinates...}, "error": "..."}
 
 Keys are content hashes produced by
 :func:`repro.experiments.runner.simulation_cell_key` — they cover the full
 system configuration plus workload identity, so two campaigns (or a campaign
 and a figure function) that describe the same simulation share the same key
 and the second one is served from disk.
+
+Error records make failures first-class: ``status`` reports failure counts
+per scheme/workload, and because :meth:`get` / ``in`` treat an errored key
+as *absent*, a re-run retries the cell instead of skipping it — a later
+success simply overwrites the error (append-only, last line per key wins).
 
 Append-only JSONL keeps writes crash-safe: an interrupted campaign loses at
 most its in-flight line (truncated trailing lines are skipped on load), and
@@ -20,6 +29,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional
 
@@ -61,46 +71,96 @@ class ResultStore:
                     # A crash mid-append leaves at most one truncated line;
                     # everything before it is intact.
                     continue
-                if isinstance(record, dict) and "key" in record and "result" in record:
+                if isinstance(record, dict) and "key" in record and (
+                    "result" in record or "error" in record
+                ):
+                    # Last line per key wins: a retried cell's success
+                    # replaces its earlier error record (and vice versa).
                     self._index[record["key"]] = record
 
     # ------------------------------------------------------------------ lookups
 
     def get(self, key: str) -> Optional[SimulationResults]:
-        """The stored result for ``key``, or ``None``."""
+        """The stored result for ``key``, or ``None``.
+
+        Error records read as ``None`` so campaign resumption retries the
+        cell; use :meth:`get_error` to inspect the failure itself.
+        """
         record = self._index.get(key)
-        if record is None:
+        if record is None or "result" not in record:
             return None
         return SimulationResults.from_dict(record["result"])
 
+    def get_error(self, key: str) -> Optional[str]:
+        """The stored error text for ``key``, or ``None``."""
+        record = self._index.get(key)
+        if record is None or "result" in record:
+            return None
+        return record.get("error")
+
     def get_record(self, key: str) -> Optional[Dict]:
-        """The raw stored record (key/meta/result) for ``key``, or ``None``."""
+        """The raw stored record (key/meta/result-or-error) for ``key``."""
         return self._index.get(key)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._index
+        """Whether ``key`` holds a *successful* result (errors read as absent)."""
+        record = self._index.get(key)
+        return record is not None and "result" in record
 
     def __len__(self) -> int:
-        return len(self._index)
+        """Number of successfully stored results (errors not counted)."""
+        return sum(1 for record in self._index.values() if "result" in record)
 
     def keys(self) -> List[str]:
-        return list(self._index)
+        """Keys holding successful results, in insertion order."""
+        return [key for key, record in self._index.items() if "result" in record]
+
+    def error_keys(self) -> List[str]:
+        """Keys whose latest record is a failure, in insertion order."""
+        return [key for key, record in self._index.items() if "result" not in record]
 
     def records(self) -> Iterator[Dict]:
-        """All stored records, in insertion order."""
+        """All stored records — results and errors — in insertion order."""
         return iter(self._index.values())
 
     # ------------------------------------------------------------------ writes
 
-    def put(self, key: str, result: SimulationResults, meta: Optional[Dict] = None) -> None:
-        """Persist ``result`` under ``key`` (last write wins on re-put)."""
-        record = {"key": key, "meta": meta or {}, "result": result.to_dict()}
+    def _append(self, record: Dict) -> None:
         line = json.dumps(record, sort_keys=True)
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
-        self._index[key] = record
+        self._index[record["key"]] = record
+
+    def put(self, key: str, result: SimulationResults, meta: Optional[Dict] = None) -> None:
+        """Persist ``result`` under ``key`` (last write wins on re-put).
+
+        ``scheme``/``workload``/``label`` metadata are always recorded —
+        backfilled from the result itself when the caller's ``meta`` lacks
+        them — so :meth:`status` can bucket every record without falling
+        back to ``"?"``.
+        """
+        meta = dict(meta) if meta else {}
+        meta.setdefault("scheme", result.scheme)
+        meta.setdefault("workload", result.workload)
+        meta.setdefault("label", meta["scheme"])
+        self._append({"key": key, "meta": meta, "result": result.to_dict()})
+
+    def put_error(self, key: str, error: str, meta: Optional[Dict] = None) -> None:
+        """Persist a failed-cell outcome under ``key``.
+
+        The record survives the process, so ``status`` can report what
+        failed after an overnight run exits — but the key still reads as
+        absent (see :meth:`get`), so the next ``run`` retries the cell.
+        """
+        record = {
+            "key": key,
+            "meta": dict(meta) if meta else {},
+            "error": str(error),
+            "failed_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        }
+        self._append(record)
 
     # ------------------------------------------------------------------ reporting
 
@@ -108,15 +168,26 @@ class ResultStore:
         """Aggregate counts for the ``status`` CLI subcommand."""
         by_scheme: Dict[str, int] = {}
         by_workload: Dict[str, int] = {}
+        errors_by_scheme: Dict[str, int] = {}
+        errors_by_workload: Dict[str, int] = {}
+        errors = 0
         for record in self._index.values():
             meta = record.get("meta", {})
             scheme = meta.get("label") or meta.get("scheme") or "?"
             workload = meta.get("workload") or "?"
-            by_scheme[scheme] = by_scheme.get(scheme, 0) + 1
-            by_workload[workload] = by_workload.get(workload, 0) + 1
+            if "result" in record:
+                by_scheme[scheme] = by_scheme.get(scheme, 0) + 1
+                by_workload[workload] = by_workload.get(workload, 0) + 1
+            else:
+                errors += 1
+                errors_by_scheme[scheme] = errors_by_scheme.get(scheme, 0) + 1
+                errors_by_workload[workload] = errors_by_workload.get(workload, 0) + 1
         return {
             "path": str(self.path),
-            "cells": len(self._index),
+            "cells": len(self),
+            "errors": errors,
             "by_scheme": dict(sorted(by_scheme.items())),
             "by_workload": dict(sorted(by_workload.items())),
+            "errors_by_scheme": dict(sorted(errors_by_scheme.items())),
+            "errors_by_workload": dict(sorted(errors_by_workload.items())),
         }

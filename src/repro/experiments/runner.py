@@ -69,6 +69,7 @@ def simulation_cell_key(
     seed: int,
     warmup_fraction: float,
     page_size: Optional[int] = None,
+    timeline_interval: Optional[int] = None,
 ) -> str:
     """Content-hashed identity of one simulation cell.
 
@@ -78,19 +79,25 @@ def simulation_cell_key(
     ``page_size``), the trace length and the warmup fraction.  It is stable
     across processes and interpreter runs, which is what makes the campaign
     result store resumable.
+
+    ``timeline_interval`` does not change simulation outcomes, but it does
+    change the stored *payload* (a cell run with an observer carries its
+    timeline), so it participates in the key — only when set, keeping every
+    pre-existing store key valid.
     """
     effective_page_size = page_size if page_size is not None else config.dram_cache.page_size
-    payload = canonical_json(
-        {
-            "config": config_hash(config),
-            "workload": _workload_identity(workload_name),
-            "records_per_core": records_per_core,
-            "scale": scale,
-            "seed": seed,
-            "warmup_fraction": warmup_fraction,
-            "page_size": effective_page_size,
-        }
-    )
+    fields = {
+        "config": config_hash(config),
+        "workload": _workload_identity(workload_name),
+        "records_per_core": records_per_core,
+        "scale": scale,
+        "seed": seed,
+        "warmup_fraction": warmup_fraction,
+        "page_size": effective_page_size,
+    }
+    if timeline_interval is not None:
+        fields["timeline_interval"] = timeline_interval
+    payload = canonical_json(fields)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
@@ -103,6 +110,7 @@ def simulation_cell_meta(
     warmup_fraction: float,
     page_size: Optional[int] = None,
     label: Optional[str] = None,
+    timeline_interval: Optional[int] = None,
 ) -> Dict[str, object]:
     """The sweep coordinates stored next to a result (store ``meta`` field).
 
@@ -112,7 +120,9 @@ def simulation_cell_meta(
     write-through cache (which falls back to the scheme name).
     """
     dram_cache = config.dram_cache
+    meta = {} if timeline_interval is None else {"timeline_interval": timeline_interval}
     return {
+        **meta,
         "label": label if label is not None else dram_cache.scheme,
         "scheme": dram_cache.scheme,
         "workload": workload_name,
@@ -152,9 +162,11 @@ class ResultCache:
         seed: int,
         warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
         page_size: Optional[int] = None,
+        timeline_interval: Optional[int] = None,
     ) -> str:
         return simulation_cell_key(
-            config, workload_name, records_per_core, scale, seed, warmup_fraction, page_size
+            config, workload_name, records_per_core, scale, seed, warmup_fraction,
+            page_size, timeline_interval,
         )
 
     def get(self, key: str) -> Optional[SimulationResults]:
@@ -193,6 +205,8 @@ def run_simulation(
     cache: Optional[ResultCache] = None,
     page_size: Optional[int] = None,
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    timeline_interval: Optional[int] = None,
+    events=None,
 ) -> SimulationResults:
     """Run one simulation (optionally memoised through ``cache``).
 
@@ -202,6 +216,12 @@ def run_simulation(
 
     ``warmup_fraction`` of each core's records is executed before the
     measurement window opens (statistics cover only the remainder).
+
+    ``timeline_interval`` attaches a
+    :class:`~repro.obs.timeline.TimelineObserver` snapshotting windowed
+    metric deltas every that many records (the timeline rides along on
+    ``result.timeline`` and in the cache).  ``events`` is an optional
+    :class:`~repro.obs.events.EventLog` for the engine's run events.
     """
     if (workload_name is None) == (workload is None):
         raise ValueError("provide exactly one of workload_name or workload")
@@ -209,9 +229,19 @@ def run_simulation(
         raise ValueError("warmup_fraction must be in [0, 1)")
     warmup_records = int(records_per_core * warmup_fraction)
 
+    def observer():
+        if timeline_interval is None:
+            return None
+        from repro.obs.timeline import TimelineObserver
+
+        return TimelineObserver(timeline_interval)
+
     if workload is not None:
         system = System(config, workload)
-        return SimulationEngine(system).run(records_per_core, warmup_records_per_core=warmup_records)
+        return SimulationEngine(system).run(
+            records_per_core, warmup_records_per_core=warmup_records,
+            observer=observer(), events=events,
+        )
 
     effective_page_size = page_size if page_size is not None else config.dram_cache.page_size
     key = None
@@ -224,6 +254,7 @@ def run_simulation(
             seed,
             warmup_fraction=warmup_fraction,
             page_size=effective_page_size,
+            timeline_interval=timeline_interval,
         )
         cached = cache.get(key)
         if cached is not None:
@@ -233,10 +264,14 @@ def run_simulation(
         workload_name, config.num_cores, scale=scale, seed=seed, page_size=effective_page_size
     )
     system = System(config, built)
-    result = SimulationEngine(system).run(records_per_core, warmup_records_per_core=warmup_records)
+    result = SimulationEngine(system).run(
+        records_per_core, warmup_records_per_core=warmup_records,
+        observer=observer(), events=events,
+    )
     if cache is not None and key is not None:
         meta = simulation_cell_meta(
-            config, workload_name, records_per_core, scale, seed, warmup_fraction, effective_page_size
+            config, workload_name, records_per_core, scale, seed, warmup_fraction,
+            effective_page_size, timeline_interval=timeline_interval,
         )
         cache.put(key, result, meta=meta)
     return result

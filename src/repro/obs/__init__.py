@@ -1,0 +1,66 @@
+"""Observability: interval-timeline metrics, run events, live telemetry.
+
+The layer every other subsystem reports through:
+
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket histograms
+  (:class:`MetricsRegistry`), built so detached instrumentation costs the
+  hot loop a single ``is None`` check;
+* :mod:`repro.obs.timeline` — :class:`TimelineObserver` snapshots windowed
+  metric deltas during a run, yielding a :class:`Timeline` attached to
+  ``SimulationResults.timeline`` (exact CSV/JSONL round-trip);
+* :mod:`repro.obs.events` — append-only JSONL event logs
+  (:class:`EventLog`) with schema validation and merge, plus
+  :class:`ObsSink` bundling a campaign's event/heartbeat destinations;
+* :mod:`repro.obs.heartbeat` — per-worker liveness files behind
+  ``python -m repro.campaign status --live``;
+* ``python -m repro.obs`` (:mod:`repro.obs.cli`) summarizes, merges and
+  exports all of the above.
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    EventLog,
+    ObsSink,
+    make_event,
+    merge_events,
+    read_events,
+    validate_event,
+    write_events,
+)
+from repro.obs.heartbeat import HeartbeatWriter, is_stale, read_heartbeats
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.timeline import (
+    DEFAULT_INTERVAL_RECORDS,
+    Timeline,
+    TimelineObserver,
+    TimelineWindow,
+)
+
+__all__ = [
+    "DEFAULT_INTERVAL_RECORDS",
+    "DEFAULT_LATENCY_BOUNDS",
+    "EVENT_TYPES",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "HeartbeatWriter",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsSink",
+    "Timeline",
+    "TimelineObserver",
+    "TimelineWindow",
+    "is_stale",
+    "make_event",
+    "merge_events",
+    "read_events",
+    "read_heartbeats",
+    "validate_event",
+    "write_events",
+]

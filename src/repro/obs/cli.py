@@ -1,0 +1,266 @@
+"""``python -m repro.obs`` — summarize, merge and export observability data.
+
+Subcommands::
+
+    summarize  describe an event log, a timeline file, or a store's timelines
+    merge      merge several JSONL event logs into one, ordered by timestamp
+    export     export stored timelines as CSV or JSONL
+
+Timelines come out of ``SimulationResults.timeline`` (attach a
+:class:`~repro.obs.timeline.TimelineObserver`, or pass ``--timeline N`` to
+``python -m repro.campaign run``); event logs are written by the engine,
+the campaign executors and the driver (``<store>/obs/events.jsonl``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.obs.events import merge_events, read_events, validate_event, write_events
+from repro.obs.timeline import Timeline
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize, merge and export run telemetry (timelines + event logs).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summarize = sub.add_parser("summarize", help="describe an event log, timeline, or store")
+    group = summarize.add_mutually_exclusive_group(required=True)
+    group.add_argument("--events", help="JSONL event log path")
+    group.add_argument("--timeline", help="timeline file path (CSV or JSONL)")
+    group.add_argument("--store", help="result-store directory: summarize stored timelines")
+    summarize.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    merge = sub.add_parser("merge", help="merge event logs ordered by timestamp")
+    merge.add_argument("--inputs", required=True, nargs="+", help="JSONL event log paths")
+    merge.add_argument("--output", required=True, help="merged JSONL output path")
+    merge.add_argument("--validate", action="store_true",
+                       help="schema-check every event while merging")
+
+    export = sub.add_parser("export", help="export stored timelines as CSV or JSONL")
+    export.add_argument("--store", required=True, help="result-store directory")
+    export.add_argument("--label", help="filter: scheme label")
+    export.add_argument("--workload", help="filter: workload name")
+    export.add_argument("--seed", type=int, help="filter: RNG seed")
+    export.add_argument("--all", action="store_true",
+                        help="export every matching cell as one long-format table "
+                             "(default: filters must select exactly one cell)")
+    export.add_argument("--format", choices=("csv", "jsonl"), default="csv")
+    export.add_argument("--output", help="output file (default: stdout)")
+    return parser
+
+
+# ---------------------------------------------------------------- summarize
+
+
+def _load_timeline_file(path: str) -> Timeline:
+    text = Path(path).read_text(encoding="utf-8")
+    head = text.lstrip()[:1]
+    if head == "{":
+        return Timeline.from_jsonl(text)
+    return Timeline.from_csv(text)
+
+
+def _summarize_events(path: str) -> Dict[str, object]:
+    if not Path(path).exists():
+        raise ValueError(f"no event log at {path}")
+    records = read_events(path, validate=True)
+    by_type: Dict[str, int] = {}
+    for record in records:
+        by_type[record["event"]] = by_type.get(record["event"], 0) + 1
+    errors = [record for record in records if record["event"] == "cell_error"]
+    span = (records[-1]["ts"] - records[0]["ts"]) if len(records) > 1 else 0.0
+    return {
+        "path": path,
+        "events": len(records),
+        "by_type": dict(sorted(by_type.items())),
+        "span_seconds": round(span, 3),
+        "errors": [
+            {"key": record.get("key"), "cell": record.get("cell"),
+             "error": record.get("error")}
+            for record in errors
+        ],
+    }
+
+
+def _stored_timelines(store_dir: str, label: Optional[str] = None,
+                      workload: Optional[str] = None, seed: Optional[int] = None) -> List[Dict]:
+    """(meta, key, Timeline) triples for store cells that captured one."""
+    from repro.campaign.store import ResultStore
+    from repro.sim.results import SimulationResults
+
+    store = ResultStore(store_dir, create=False)
+    selected: List[Dict] = []
+    for record in store.records():
+        if "result" not in record:
+            continue
+        payload = record["result"]
+        if not payload.get("timeline"):
+            continue
+        meta = record.get("meta", {})
+        if label is not None and meta.get("label") != label:
+            continue
+        if workload is not None and meta.get("workload") != workload:
+            continue
+        if seed is not None and meta.get("seed") != seed:
+            continue
+        result = SimulationResults.from_dict(payload)
+        selected.append({
+            "key": record["key"],
+            "meta": meta,
+            "timeline": Timeline.from_dict(result.timeline),
+        })
+    return selected
+
+
+def cmd_summarize(args: argparse.Namespace, stream) -> int:
+    if args.events:
+        info = _summarize_events(args.events)
+        if args.json:
+            json.dump(info, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+            return 0
+        print(f"events: {info['events']} ({info['path']})", file=stream)
+        print(f"span: {info['span_seconds']} s", file=stream)
+        for event, count in info["by_type"].items():
+            print(f"  {event:<16s} {count}", file=stream)
+        for error in info["errors"]:
+            print(f"  ERROR {error['cell'] or error['key']}: "
+                  f"{(error['error'] or '').splitlines()[0] if error['error'] else '?'}",
+                  file=stream)
+        return 0
+    if args.timeline:
+        timeline = _load_timeline_file(args.timeline)
+        info = dict(timeline.summary(), path=args.timeline)
+        if args.json:
+            json.dump(info, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+            return 0
+        print(f"timeline: {args.timeline}", file=stream)
+        for key, value in info.items():
+            if key != "path":
+                print(f"  {key:<18s} {value}", file=stream)
+        return 0
+    entries = _stored_timelines(args.store)
+    rows = [
+        dict({"key": entry["key"][:12],
+              "label": entry["meta"].get("label", "?"),
+              "workload": entry["meta"].get("workload", "?"),
+              "seed": entry["meta"].get("seed", "?")},
+             **entry["timeline"].summary())
+        for entry in entries
+    ]
+    if args.json:
+        json.dump(rows, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+        return 0
+    print(f"store {args.store}: {len(rows)} cell(s) with timelines", file=stream)
+    for row in rows:
+        print(f"  {row['label']}/{row['workload']} seed={row['seed']}: "
+              f"{row['measured_windows']} windows, hit ratio "
+              f"{row['hit_ratio_min']:.3f}..{row['hit_ratio_max']:.3f}, "
+              f"p95 latency {row['latency_p95']:.0f} cyc", file=stream)
+    return 0
+
+
+# -------------------------------------------------------------------- merge
+
+
+def cmd_merge(args: argparse.Namespace, stream) -> int:
+    records = merge_events(args.inputs, validate=args.validate)
+    count = write_events(records, args.output)
+    print(f"merged {count} events from {len(args.inputs)} log(s) into {args.output}",
+          file=stream)
+    return 0
+
+
+# ------------------------------------------------------------------- export
+
+
+#: Identity columns prefixed to long-format (--all) exports.
+_IDENTITY_COLUMNS = ("label", "workload", "seed", "key")
+
+
+def _long_format_csv(entries: List[Dict]) -> str:
+    import csv as _csv
+    import io
+
+    from repro.obs.timeline import _CSV_COLUMNS
+
+    buffer = io.StringIO()
+    writer = _csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(_IDENTITY_COLUMNS) + list(_CSV_COLUMNS))
+    for entry in entries:
+        meta = entry["meta"]
+        identity = [meta.get("label", ""), meta.get("workload", ""),
+                    meta.get("seed", ""), entry["key"]]
+        for window in entry["timeline"].windows:
+            row = window.to_dict()
+            row["latency_counts"] = "|".join(str(c) for c in row["latency_counts"])
+            writer.writerow(identity + [row[column] for column in _CSV_COLUMNS])
+    return buffer.getvalue()
+
+
+def _long_format_jsonl(entries: List[Dict]) -> str:
+    lines = []
+    for entry in entries:
+        meta = entry["meta"]
+        identity = {"label": meta.get("label"), "workload": meta.get("workload"),
+                    "seed": meta.get("seed"), "key": entry["key"]}
+        for window in entry["timeline"].windows:
+            lines.append(json.dumps(dict(identity, **window.to_dict()), sort_keys=True))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def cmd_export(args: argparse.Namespace, stream) -> int:
+    entries = _stored_timelines(args.store, label=args.label,
+                                workload=args.workload, seed=args.seed)
+    if not entries:
+        raise ValueError(f"no stored timelines match in {args.store} "
+                         "(run cells with --timeline N to capture them)")
+    if args.all:
+        text = (_long_format_csv(entries) if args.format == "csv"
+                else _long_format_jsonl(entries))
+    else:
+        if len(entries) > 1:
+            matches = ", ".join(
+                f"{e['meta'].get('label', '?')}/{e['meta'].get('workload', '?')}"
+                f" seed={e['meta'].get('seed', '?')}" for e in entries
+            )
+            raise ValueError(
+                f"{len(entries)} cells match ({matches}); narrow with "
+                "--label/--workload/--seed or pass --all for a combined table"
+            )
+        timeline = entries[0]["timeline"]
+        text = timeline.to_csv() if args.format == "csv" else timeline.to_jsonl()
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"wrote {args.output}", file=stream)
+    else:
+        stream.write(text)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, stream=None) -> int:
+    stream = stream if stream is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "summarize":
+            return cmd_summarize(args, stream)
+        if args.command == "merge":
+            return cmd_merge(args, stream)
+        return cmd_export(args, stream)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

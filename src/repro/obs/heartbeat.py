@@ -1,0 +1,98 @@
+"""Per-worker heartbeat files: liveness for long-running campaigns.
+
+Each worker process owns one small JSON file in the campaign's heartbeat
+directory and rewrites it (atomically, via a temp file + ``os.replace``)
+whenever its state changes: picking up a cell, finishing it, going idle.
+``python -m repro.campaign status --live`` reads the directory to show
+what is in flight right now — without any channel back into the worker
+pool, surviving driver crashes, and readable from another terminal while
+an overnight campaign runs.
+
+A heartbeat older than :data:`STALE_AFTER_SECONDS` is reported as stale:
+either its worker is stuck inside one very long cell or the process died
+without cleaning up.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Heartbeats older than this are flagged stale by readers.
+STALE_AFTER_SECONDS = 300.0
+
+_SUFFIX = ".hb.json"
+
+
+class HeartbeatWriter:
+    """Maintains one worker's heartbeat file."""
+
+    def __init__(self, directory, worker: str) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.worker = worker
+        self.path = self.directory / f"{worker}{_SUFFIX}"
+        self.started_ts = time.time()
+        self.cells_done = 0
+
+    def beat(self, state: str = "running", cell: Optional[str] = None,
+             key: Optional[str] = None) -> Dict[str, object]:
+        """Rewrite the heartbeat file; returns the payload written."""
+        now = time.time()
+        payload: Dict[str, object] = {
+            "worker": self.worker,
+            "pid": os.getpid(),
+            "state": state,
+            "cell": cell,
+            "key": key,
+            "updated_ts": now,
+            "started_ts": self.started_ts,
+            "cells_done": self.cells_done,
+        }
+        tmp = self.path.with_suffix(".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, self.path)
+        return payload
+
+    def finished_cell(self) -> None:
+        """Bump the completed-cell counter (reported in every later beat)."""
+        self.cells_done += 1
+
+    def clear(self) -> None:
+        """Remove this worker's heartbeat file (clean shutdown)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+
+def read_heartbeats(directory) -> List[Dict[str, object]]:
+    """Load every heartbeat in ``directory``, oldest worker first.
+
+    Unparseable files (a reader racing a writer's ``os.replace`` cannot see
+    one on POSIX, but half-copied directories happen) are skipped.
+    """
+    base = Path(directory)
+    if not base.is_dir():
+        return []
+    beats: List[Dict[str, object]] = []
+    for path in sorted(base.glob(f"*{_SUFFIX}")):
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(payload, dict):
+            beats.append(payload)
+    return beats
+
+
+def is_stale(beat: Dict[str, object], now: Optional[float] = None,
+             stale_after: float = STALE_AFTER_SECONDS) -> bool:
+    """Whether a heartbeat has not been refreshed within ``stale_after``."""
+    now = time.time() if now is None else now
+    return (now - float(beat.get("updated_ts", 0.0))) > stale_after

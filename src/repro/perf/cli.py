@@ -64,6 +64,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help=f"output JSON path (default {DEFAULT_OUTPUT})")
     parser.add_argument("--smoke", action="store_true",
                         help=f"CI smoke mode: {SMOKE_RECORDS_PER_CORE} records/core, 1 repeat")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile each cell (one extra untimed run) and report the "
+                             "hottest functions by cumulative time")
+    parser.add_argument("--profile-top", type=int, default=15, metavar="N",
+                        help="functions to keep per profile (default 15)")
     parser.add_argument("--quiet", action="store_true", help="suppress the per-cell table")
     return parser
 
@@ -108,6 +113,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         repeats=repeats,
         preset=args.preset,
         progress=progress,
+        profile_top=args.profile_top if args.profile else None,
     )
     write_report(payload, args.output)
     aggregate = payload["aggregate"]
@@ -122,5 +128,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"simulation {split['simulation_seconds']:.3f} s "
             f"({split['generation_fraction']:.1%} generating records)"
         )
+    if "profile" in payload:
+        print(f"\n# top {payload['profile']['top']} functions by cumulative time "
+              "(summed over all cells)")
+        print(f"{'cumtime':>9s} {'tottime':>9s} {'ncalls':>10s}  function")
+        for row in payload["profile"]["functions"]:
+            print(f"{row['cumtime']:9.3f} {row['tottime']:9.3f} "
+                  f"{row['ncalls']:>10d}  {row['function']}")
     print(f"wrote {args.output}")
     return 0

@@ -17,12 +17,15 @@ sits in between.
 
 from __future__ import annotations
 
+import cProfile
 import itertools
 import json
 import platform
+import pstats
 import sys
 import time
 from dataclasses import asdict, dataclass
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.dramcache.variants import available_scheme_names, is_known_scheme
@@ -91,6 +94,9 @@ class BenchCell:
     instructions: int
     cycles: float
     generation_seconds: float = 0.0
+    #: Top cumulative-time functions from an extra profiled (non-timed) run;
+    #: ``None`` unless the cell ran with ``profile_top`` set.
+    profile: Optional[List[Dict]] = None
 
     @property
     def simulation_seconds(self) -> float:
@@ -112,6 +118,10 @@ class BenchCell:
         payload = asdict(self)
         payload["simulation_seconds"] = self.simulation_seconds
         payload["generation_fraction"] = self.generation_fraction
+        if self.profile is None:
+            # Keep the committed BENCH_hotpath.json schema unchanged when
+            # profiling is off.
+            payload.pop("profile")
         return payload
 
 
@@ -139,6 +149,22 @@ def measure_generation(workload: Workload, records_per_core: int) -> float:
     return time.perf_counter() - start
 
 
+def _profile_rows(profiler: cProfile.Profile, top: int) -> List[Dict]:
+    """The ``top`` cumulative-time functions of a finished profiler run."""
+    stats = pstats.Stats(profiler)
+    entries = sorted(stats.stats.items(), key=lambda item: item[1][3], reverse=True)
+    rows: List[Dict] = []
+    for (filename, line, name), (_cc, ncalls, tottime, cumtime, _callers) in entries[:top]:
+        where = name if line == 0 else f"{Path(filename).name}:{line}:{name}"
+        rows.append({
+            "function": where,
+            "ncalls": ncalls,
+            "tottime": round(tottime, 6),
+            "cumtime": round(cumtime, 6),
+        })
+    return rows
+
+
 def run_cell(
     scheme: str,
     workload_name: str,
@@ -148,6 +174,7 @@ def run_cell(
     seed: int = 1,
     repeats: int = 3,
     preset: str = "scaled",
+    profile_top: Optional[int] = None,
 ) -> BenchCell:
     """Benchmark one cell; returns the best of ``repeats`` fresh runs.
 
@@ -155,6 +182,11 @@ def run_cell(
     (identical record counts and results) that differ only in wall time.
     One extra fresh workload is drained without simulating to measure the
     record-generation share of the cell (see :class:`BenchCell`).
+
+    ``profile_top`` adds one *extra* run wrapped in :mod:`cProfile` after
+    the timed repeats (profiling overhead must never touch the reported
+    times) and attaches its ``profile_top`` hottest functions by cumulative
+    time to the cell.
     """
     if repeats <= 0:
         raise ValueError("repeats must be positive")
@@ -188,6 +220,19 @@ def run_cell(
         records = engine.records_processed
         instructions = result.instructions
         cycles = result.cycles
+    profile = None
+    if profile_top:
+        config = _build_config(preset, scheme, num_cores, seed)
+        workload = get_workload(
+            workload_name, num_cores, scale=scale, seed=seed,
+            page_size=config.dram_cache.page_size,
+        )
+        engine = SimulationEngine(System(config, workload))
+        profiler = cProfile.Profile()
+        profiler.enable()
+        engine.run(records_per_core)
+        profiler.disable()
+        profile = _profile_rows(profiler, profile_top)
     return BenchCell(
         scheme=scheme,
         workload=workload_name,
@@ -198,7 +243,27 @@ def run_cell(
         instructions=instructions,
         cycles=cycles,
         generation_seconds=generation_seconds,
+        profile=profile,
     )
+
+
+def aggregate_profile(cells: List[BenchCell], top: int) -> List[Dict]:
+    """Merge per-cell profiles into one top-``top`` cumulative-time table.
+
+    Summing cumtime across cells weights each function by how much of the
+    whole matrix it cost — the number to look at before optimising.
+    """
+    merged: Dict[str, Dict] = {}
+    for cell in cells:
+        for row in cell.profile or []:
+            entry = merged.setdefault(
+                row["function"],
+                {"function": row["function"], "ncalls": 0, "tottime": 0.0, "cumtime": 0.0},
+            )
+            entry["ncalls"] += row["ncalls"]
+            entry["tottime"] = round(entry["tottime"] + row["tottime"], 6)
+            entry["cumtime"] = round(entry["cumtime"] + row["cumtime"], 6)
+    return sorted(merged.values(), key=lambda row: row["cumtime"], reverse=True)[:top]
 
 
 def run_benchmark(
@@ -211,12 +276,16 @@ def run_benchmark(
     repeats: int = 3,
     preset: str = "scaled",
     progress=None,
+    profile_top: Optional[int] = None,
 ) -> Dict[str, object]:
     """Run the full matrix and return the JSON-ready payload.
 
     Args:
         progress: optional callback invoked with each finished
             :class:`BenchCell` (the CLI uses it to print a live table).
+        profile_top: profile each cell (one extra untimed run under
+            cProfile) and add the matrix-wide top-N cumulative-time
+            functions to the payload under ``"profile"``.
     """
     schemes = schemes if schemes else list(DEFAULT_SCHEMES)
     workloads = workloads if workloads else list(DEFAULT_WORKLOADS)
@@ -234,6 +303,7 @@ def run_benchmark(
                 seed=seed,
                 repeats=repeats,
                 preset=preset,
+                profile_top=profile_top,
             )
             cells.append(cell)
             if progress is not None:
@@ -252,7 +322,11 @@ def run_benchmark(
             "simulation_seconds": max(best - gen, 0.0),
             "generation_fraction": min(gen / best, 1.0) if best > 0 else 0.0,
         }
-    return {
+    payload_profile = (
+        {"top": profile_top, "functions": aggregate_profile(cells, profile_top)}
+        if profile_top else None
+    )
+    payload = {
         "name": "hotpath",
         "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "python": sys.version.split()[0],
@@ -276,6 +350,9 @@ def run_benchmark(
             "total_wall_seconds": total_seconds,
         },
     }
+    if payload_profile is not None:
+        payload["profile"] = payload_profile
+    return payload
 
 
 def write_report(payload: Dict[str, object], path: str) -> None:

@@ -33,6 +33,8 @@ class SimulationEngine:
         max_records_per_core: int,
         max_total_records: Optional[int] = None,
         warmup_records_per_core: int = 0,
+        observer=None,
+        events=None,
     ) -> SimulationResults:
         """Run the simulation and return its results.
 
@@ -44,6 +46,15 @@ class SimulationEngine:
             warmup_records_per_core: records per core executed before the
                 measurement window starts; statistics are reported for the
                 post-warmup portion only.
+            observer: optional :class:`~repro.obs.timeline.TimelineObserver`;
+                when given, windowed metric deltas are snapshotted every
+                ``observer.interval`` records (with a boundary forced at the
+                warmup edge) and the resulting timeline is attached to
+                ``results.timeline``.  Detached, the hot loop pays a single
+                boolean check per record and results are bit-identical.
+            events: optional :class:`~repro.obs.events.EventLog`; run
+                start/end and the warmup boundary are emitted as structured
+                events (never from inside the per-record loop).
         """
         if max_records_per_core <= 0:
             raise ValueError("max_records_per_core must be positive")
@@ -63,6 +74,15 @@ class SimulationEngine:
                 "longer trace"
             )
         num_cores = system.config.num_cores
+        if events is not None:
+            events.emit(
+                "run_start",
+                workload=workload.name,
+                scheme=system.scheme.name,
+                num_cores=num_cores,
+                records_per_core=max_records_per_core,
+                warmup_records_per_core=warmup_records_per_core,
+            )
 
         iterators = [workload.trace(core_id) for core_id in range(num_cores)]
         remaining = [max_records_per_core] * num_cores
@@ -79,6 +99,14 @@ class SimulationEngine:
         # The cumulative count lives in ``total_records_processed``.
         self.records_processed = 0
         processed = 0
+
+        # Observer state: ``observing`` is the single boolean the disabled
+        # path pays per record; window boundaries are plain int compares.
+        observing = observer is not None
+        next_window = 0
+        if observing:
+            observer.begin(system, warmup=not measurement_started)
+            next_window = observer.interval
 
         # Hot loop: everything it touches per record is a local.
         process_record = system.process_record
@@ -99,11 +127,34 @@ class SimulationEngine:
             if not measurement_started and processed >= warmup_threshold:
                 system.begin_measurement()
                 measurement_started = True
+                if observing:
+                    # Force a window boundary exactly at the warmup edge so
+                    # the first measured window starts at begin_measurement.
+                    observer.start_measurement(processed)
+                    next_window = processed + observer.interval
+                if events is not None:
+                    events.emit("warmup_end", records=processed)
+            if observing and processed >= next_window:
+                observer.snapshot(processed)
+                next_window = processed + observer.interval
             if remaining[core_id] > 0:
                 heappush(heap, (new_clock, core_id))
 
         self.records_processed = processed
         self.total_records_processed += processed
+        if observing:
+            observer.finish(processed)
         system.finalize()
         elapsed = time.perf_counter() - start_time
-        return system.collect_results(wall_time_seconds=elapsed)
+        results = system.collect_results(wall_time_seconds=elapsed)
+        if observing:
+            results.timeline = observer.timeline.to_dict()
+        if events is not None:
+            events.emit(
+                "run_end",
+                workload=workload.name,
+                scheme=system.scheme.name,
+                records=processed,
+                wall_seconds=round(elapsed, 6),
+            )
+        return results

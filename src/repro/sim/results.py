@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.util.serde import dataclass_from_dict
 
@@ -38,6 +38,11 @@ class SimulationResults:
     hierarchy_stats: Dict[str, int] = field(default_factory=dict)
     os_stall_cycles: float = 0.0
     wall_time_seconds: float = 0.0
+    #: Interval timeline captured by a :class:`repro.obs.TimelineObserver`
+    #: (its ``Timeline.to_dict()`` form), or ``None`` when no observer was
+    #: attached.  Deterministic — built from simulated state only — so it
+    #: participates in :meth:`identity_dict` comparisons.
+    timeline: Optional[Dict] = None
 
     # ------------------------------------------------------------------ derived metrics
 
@@ -117,8 +122,15 @@ class SimulationResults:
         exact value — Python's JSON float formatting is shortest-round-trip,
         so cycle counts survive bit-identically.  The campaign result store
         persists results in this form.
+
+        ``timeline`` is omitted when no observer captured one, so payloads
+        (and the hot-path goldens) from before the field existed compare
+        equal to current output.
         """
-        return dataclasses.asdict(self)
+        payload = dataclasses.asdict(self)
+        if self.timeline is None:
+            payload.pop("timeline")
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "SimulationResults":
@@ -140,6 +152,14 @@ class SimulationResults:
         payload = self.to_dict()
         payload.pop("wall_time_seconds")
         return payload
+
+    def timeline_object(self):
+        """The attached timeline as a :class:`repro.obs.Timeline` (or None)."""
+        if self.timeline is None:
+            return None
+        from repro.obs.timeline import Timeline
+
+        return Timeline.from_dict(self.timeline)
 
     def summary(self) -> Dict[str, float]:
         """Compact flat summary (used by reports and EXPERIMENTS.md)."""

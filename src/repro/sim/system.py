@@ -125,6 +125,11 @@ class System:
             if type(self.scheme).notify_cycle is not DramCacheScheme.notify_cycle
             else None
         )
+        # Optional per-record latency observer (repro.obs timeline); None
+        # whenever no observer is attached, so the disabled cost is one
+        # ``is None`` check per record and the observer only ever *reads*
+        # state — results stay bit-identical either way.
+        self._obs_latency_hook = None
 
     # ------------------------------------------------------------------ per-record processing
 
@@ -181,6 +186,8 @@ class System:
                 stall = core._l3_stall
         core.clock += stall
         stats.memory_stall_cycles += stall
+        if self._obs_latency_hook is not None:
+            self._obs_latency_hook(stall)
 
         if outcome.writebacks:
             wb_request = self._wb_request
