@@ -1,0 +1,5 @@
+"""Module entry point: ``python -m repro.analyze``."""
+
+from repro.analyze.cli import main
+
+raise SystemExit(main())

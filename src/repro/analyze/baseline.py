@@ -1,0 +1,76 @@
+"""Baseline file: grandfathered findings that do not fail the gate.
+
+The baseline is a committed JSON file mapping finding fingerprints
+(:attr:`repro.analyze.core.Finding.fingerprint` — location-insensitive, so
+edits elsewhere in a file do not invalidate entries) to a human-readable
+record of what was grandfathered.  The CI gate fails on any finding *not*
+in the baseline; entries whose finding has been fixed are reported as stale
+so the baseline shrinks over time instead of rotting.
+
+Refresh with ``python -m repro.analyze src/repro --write-baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.analyze.core import Finding
+
+#: Default committed location, relative to the repository root.
+DEFAULT_BASELINE = "analyze-baseline.json"
+
+_VERSION = 1
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, Dict[str, object]]:
+    """fingerprint -> entry; an absent file is an empty baseline."""
+    baseline_path = Path(path)
+    if not baseline_path.exists():
+        return {}
+    payload = json.loads(baseline_path.read_text(encoding="utf-8"))
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} in {path}"
+        )
+    return {entry["fingerprint"]: entry for entry in payload.get("findings", [])}
+
+
+def write_baseline(path: Union[str, Path], findings: Sequence[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    entries = []
+    seen = set()
+    for finding in sorted(findings, key=lambda f: (f.rule, f.module, f.symbol, f.message)):
+        if finding.fingerprint in seen:
+            continue
+        seen.add(finding.fingerprint)
+        entries.append(
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "module": finding.module,
+                "symbol": finding.symbol,
+                "message": finding.message,
+            }
+        )
+    payload = {"version": _VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, Dict[str, object]]
+) -> Tuple[List[Finding], List[Finding], List[Dict[str, object]]]:
+    """Split findings into (new, grandfathered) and report stale entries."""
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    matched = set()
+    for finding in findings:
+        if finding.fingerprint in baseline:
+            matched.add(finding.fingerprint)
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = [entry for fp, entry in sorted(baseline.items()) if fp not in matched]
+    return new, grandfathered, stale

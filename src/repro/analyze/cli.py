@@ -1,0 +1,143 @@
+"""``python -m repro.analyze`` — the invariant gate.
+
+Usage::
+
+    python -m repro.analyze src/repro                  # all rules, text output
+    python -m repro.analyze src/repro --rule determinism,serde-symmetry
+    python -m repro.analyze src/repro --format json
+    python -m repro.analyze src/repro --write-baseline # refresh grandfathered set
+    python -m repro.analyze --list-rules
+
+Exit status: 0 when no *new* findings remain after inline suppressions and
+the baseline; 1 when new findings exist (this is the CI gate); 2 on usage
+errors.  Stale baseline entries (fixed findings still listed) are reported
+but do not fail the gate — delete them with ``--write-baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analyze.baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analyze.core import all_rules, run_analysis
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="Static analysis enforcing the repo's structural invariants "
+        "(hot-path purity, determinism, serde symmetry, variant conformance).",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="rules:\n"
+        + "\n".join(
+            f"  {name:<16s} {rule.description}" for name, rule in sorted(all_rules().items())
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE[,RULE]",
+        help="run only these rules (repeatable, comma-separable); default: all",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings (default: {DEFAULT_BASELINE}; "
+        "an absent file is an empty baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file (report every finding)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, rule in sorted(all_rules().items()):
+            print(f"{name:<16s} {rule.description}")
+        return 0
+
+    rules: Optional[List[str]] = None
+    if args.rule:
+        rules = [token.strip() for chunk in args.rule for token in chunk.split(",") if token.strip()]
+
+    try:
+        findings = run_analysis(args.paths, rules=rules)
+    except (ValueError, FileNotFoundError, SyntaxError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        count = write_baseline(args.baseline, findings)
+        print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} to {args.baseline}")
+        return 0
+
+    baseline = {} if args.no_baseline else load_baseline(args.baseline)
+    new, grandfathered, stale = apply_baseline(findings, baseline)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [finding.to_dict() for finding in new],
+                    "grandfathered": [finding.to_dict() for finding in grandfathered],
+                    "stale_baseline": stale,
+                    "counts": {
+                        "new": len(new),
+                        "grandfathered": len(grandfathered),
+                        "stale_baseline": len(stale),
+                    },
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in new:
+            print(finding.render())
+        for entry in stale:
+            print(
+                f"stale baseline entry {entry['fingerprint']} "
+                f"({entry['rule']}: {entry['message']}) — fixed; refresh with "
+                f"--write-baseline"
+            )
+        summary = (
+            f"{len(new)} finding{'s' if len(new) != 1 else ''}"
+            f" ({len(grandfathered)} grandfathered, {len(stale)} stale baseline)"
+        )
+        print(summary)
+    return 1 if new else 0

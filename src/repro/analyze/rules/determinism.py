@@ -1,0 +1,164 @@
+"""Determinism rule: simulation packages must be bit-reproducible.
+
+Serial and parallel campaign execution are guaranteed bit-identical (PR 1,
+PR 5) because simulation code derives every value from the configuration
+seed and simulated state.  This rule statically bans the constructs that
+break that guarantee inside the configured packages:
+
+* the stdlib ``random`` module (process-global, unseeded by default) and
+  numpy's legacy global RNG (``np.random.rand`` & co.);
+* ``np.random.default_rng()`` *without* a seed argument;
+* wall-clock reads (``time.time``, ``datetime.now``, ...);
+* iteration over set displays / ``set(...)`` calls (hash-order dependent);
+* ``glob``/``listdir``-style directory listings not wrapped in ``sorted()``
+  (filesystem-order dependent).
+
+``repro.obs`` is exempt by scope — observability records wall-clock
+timestamps on purpose — and intentional uses inside simulation packages
+(the engine's wall-time measurement, reporting-only and excluded from
+``identity_dict``) carry an inline ``# repro: allow[determinism]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro.analyze.core import AnalysisContext, Finding, Module, dotted_name, register_rule
+
+
+def _enclosing_symbol(module: Module, node: ast.AST) -> str:
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return ancestor.name
+    return ""
+
+
+def _call_dotted(module: Module, call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Attribute):
+        return dotted_name(call.func, module.imports)
+    if isinstance(call.func, ast.Name):
+        return module.imports.get(call.func.id)
+    return None
+
+
+def _is_sorted_wrapped(module: Module, call: ast.Call) -> bool:
+    parent = module.parent_of(call)
+    return (
+        isinstance(parent, ast.Call)
+        and isinstance(parent.func, ast.Name)
+        and parent.func.id == "sorted"
+    )
+
+
+@register_rule(
+    "determinism",
+    "simulation packages: no wall clocks, unseeded RNG, set iteration order, "
+    "or unsorted directory listings",
+)
+def check_determinism(context: AnalysisContext) -> List[Finding]:
+    config = context.config
+    findings: List[Finding] = []
+    for module in context.modules_under(config.determinism_packages):
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                _check_call(module, node, context, findings)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                _check_set_iteration(module, node.iter, findings)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    _check_set_iteration(module, generator.iter, findings)
+    return findings
+
+
+def _check_call(
+    module: Module, call: ast.Call, context: AnalysisContext, findings: List[Finding]
+) -> None:
+    config = context.config
+    dotted = _call_dotted(module, call)
+    symbol = _enclosing_symbol(module, call)
+    if dotted is None:
+        # Path-style listing methods resolve through objects, not imports.
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in config.listing_methods
+            and not _is_sorted_wrapped(module, call)
+        ):
+            findings.append(
+                module.finding(
+                    "determinism",
+                    call,
+                    f".{call.func.attr}() iterates the filesystem in unspecified "
+                    f"order; wrap in sorted()",
+                    symbol=symbol,
+                )
+            )
+        return
+    if dotted in config.wall_clock_calls:
+        findings.append(
+            module.finding(
+                "determinism",
+                call,
+                f"{dotted}() reads the wall clock; derive timing from simulated "
+                f"state (or move to repro.obs)",
+                symbol=symbol,
+            )
+        )
+    elif dotted == "random" or dotted.startswith("random."):
+        findings.append(
+            module.finding(
+                "determinism",
+                call,
+                f"{dotted}() uses the process-global stdlib RNG; use "
+                f"repro.util.rng.DeterministicRng seeded from the config",
+                symbol=symbol,
+            )
+        )
+    elif dotted == "numpy.random.default_rng":
+        if not call.args and not call.keywords:
+            findings.append(
+                module.finding(
+                    "determinism",
+                    call,
+                    "np.random.default_rng() without a seed is entropy-seeded; "
+                    "pass a seed derived from the config",
+                    symbol=symbol,
+                )
+            )
+    elif dotted.startswith("numpy.random."):
+        findings.append(
+            module.finding(
+                "determinism",
+                call,
+                f"{dotted}() drives numpy's legacy global RNG; use a seeded "
+                f"default_rng / DeterministicRng instead",
+                symbol=symbol,
+            )
+        )
+    elif dotted in config.listing_calls and not _is_sorted_wrapped(module, call):
+        findings.append(
+            module.finding(
+                "determinism",
+                call,
+                f"{dotted}() returns entries in unspecified order; wrap in sorted()",
+                symbol=symbol,
+            )
+        )
+
+
+def _check_set_iteration(module: Module, iter_node: ast.AST, findings: List[Finding]) -> None:
+    is_set_display = isinstance(iter_node, (ast.Set, ast.SetComp))
+    is_set_call = (
+        isinstance(iter_node, ast.Call)
+        and isinstance(iter_node.func, ast.Name)
+        and iter_node.func.id in ("set", "frozenset")
+    )
+    if is_set_display or is_set_call:
+        findings.append(
+            module.finding(
+                "determinism",
+                iter_node,
+                "iterating a set visits elements in hash order; sort it first",
+                symbol=_enclosing_symbol(module, iter_node),
+            )
+        )

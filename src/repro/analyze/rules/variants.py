@@ -1,0 +1,89 @@
+"""Variant conformance rule.
+
+Declared scheme variants are configuration deltas; each override must name a
+real field of the configuration dataclass or the variant silently does
+nothing (the runtime check in ``SchemeVariant.__post_init__`` only fires
+when the variant module is actually imported — this rule fires on every
+analyzer run, before any simulation).
+
+The rule finds the configuration class by name
+(``AnalyzerConfig.variant_config_class``) and checks, in any module whose
+dotted name ends with ``.variants``:
+
+* keyword arguments of ``_builtin(name, base, axis, description, **overrides)``;
+* constant keys of ``overrides={...}`` passed to ``SchemeVariant(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set
+
+from repro.analyze.core import AnalysisContext, Finding, register_rule
+
+#: _builtin's non-override keywords (its named parameters).
+_BUILTIN_PARAMS = frozenset({"name", "base", "axis", "description"})
+
+
+def _config_fields(context: AnalysisContext) -> Optional[Set[str]]:
+    class_name = context.config.variant_config_class
+    for module in context.modules:
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == class_name:
+                return {
+                    stmt.target.id
+                    for stmt in node.body
+                    if isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and "ClassVar" not in ast.dump(stmt.annotation)
+                }
+    return None
+
+
+@register_rule(
+    "variant-fields",
+    "variant overrides must name real configuration fields",
+)
+def check_variant_fields(context: AnalysisContext) -> List[Finding]:
+    fields = _config_fields(context)
+    if not fields:
+        return []
+    suffix = context.config.variant_module_suffix
+    findings: List[Finding] = []
+    for module in context.modules:
+        if not (module.name.endswith(suffix) or module.name == suffix.lstrip(".")):
+            continue
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            name = callee.id if isinstance(callee, ast.Name) else getattr(callee, "attr", "")
+            if name == "_builtin":
+                for keyword in node.keywords:
+                    if keyword.arg and keyword.arg not in _BUILTIN_PARAMS and keyword.arg not in fields:
+                        findings.append(
+                            module.finding(
+                                "variant-fields",
+                                node,
+                                f"variant override {keyword.arg!r} is not a field of "
+                                f"{context.config.variant_config_class}",
+                            )
+                        )
+            elif name == "SchemeVariant":
+                for keyword in node.keywords:
+                    if keyword.arg == "overrides" and isinstance(keyword.value, ast.Dict):
+                        for key_node in keyword.value.keys:
+                            if (
+                                isinstance(key_node, ast.Constant)
+                                and isinstance(key_node.value, str)
+                                and key_node.value not in fields
+                            ):
+                                findings.append(
+                                    module.finding(
+                                        "variant-fields",
+                                        node,
+                                        f"variant override {key_node.value!r} is not a "
+                                        f"field of {context.config.variant_config_class}",
+                                    )
+                                )
+    return findings

@@ -67,14 +67,22 @@ class CacheHierarchy:
         # for every deeper walk, its writeback list cleared in place.
         self._l1_hit = HierarchyAccess(level="l1", llc_miss=False, writebacks=[])
         self._scratch = HierarchyAccess(level="memory", llc_miss=True, writebacks=[])
+        # Eviction pool for the scratch writeback list: one access produces at
+        # most three LLC writebacks (L1-victim chain, L2 victim, L3 victim),
+        # so three reused records cover every path without allocating.
+        self._wb_pool = [Eviction(addr=0, dirty=True) for _ in range(3)]
 
     def access(self, core_id: int, addr: int, is_write: bool) -> HierarchyAccess:
         """Walk the hierarchy for one demand access from ``core_id``."""
         if not 0 <= core_id < self.config.num_cores:
             raise ValueError(f"core_id {core_id} out of range")
         outcome = self.access_reused(core_id, addr, is_write)
+        # Copy the pooled Eviction records too: the pool is reused on the
+        # next access, and this composed API promises caller-owned results.
         return HierarchyAccess(
-            level=outcome.level, llc_miss=outcome.llc_miss, writebacks=list(outcome.writebacks)
+            level=outcome.level,
+            llc_miss=outcome.llc_miss,
+            writebacks=[Eviction(addr=wb.addr, dirty=wb.dirty) for wb in outcome.writebacks],
         )
 
     def access_reused(self, core_id: int, addr: int, is_write: bool) -> HierarchyAccess:
@@ -92,6 +100,7 @@ class CacheHierarchy:
         outcome = self._scratch
         writebacks = outcome.writebacks
         del writebacks[:]
+        wb_pool = self._wb_pool
         l3 = self.l3
         if l1.victim_addr is not None and l1.victim_dirty:
             # Dirty L1 victim is absorbed by the L2 (write-back).
@@ -100,14 +109,18 @@ class CacheHierarchy:
             if l2.victim_addr is not None and l2.victim_dirty:
                 l3.fill_fast(l2.victim_addr, dirty=True)
                 if l3.victim_addr is not None and l3.victim_dirty:
-                    writebacks.append(Eviction(addr=l3.victim_addr, dirty=True))
+                    eviction = wb_pool[len(writebacks)]
+                    eviction.addr = l3.victim_addr
+                    writebacks.append(eviction)
 
         l2 = self.l2[core_id]
         l2_hit = l2.access_fast(addr, is_write)
         if not l2_hit and l2.victim_addr is not None and l2.victim_dirty:
             l3.fill_fast(l2.victim_addr, dirty=True)
             if l3.victim_addr is not None and l3.victim_dirty:
-                writebacks.append(Eviction(addr=l3.victim_addr, dirty=True))
+                eviction = wb_pool[len(writebacks)]
+                eviction.addr = l3.victim_addr
+                writebacks.append(eviction)
         if l2_hit:
             outcome.level = "l2"
             outcome.llc_miss = False
@@ -115,7 +128,9 @@ class CacheHierarchy:
 
         l3_hit = l3.access_fast(addr, is_write)
         if not l3_hit and l3.victim_addr is not None and l3.victim_dirty:
-            writebacks.append(Eviction(addr=l3.victim_addr, dirty=True))
+            eviction = wb_pool[len(writebacks)]
+            eviction.addr = l3.victim_addr
+            writebacks.append(eviction)
         if l3_hit:
             outcome.level = "l3"
             outcome.llc_miss = False

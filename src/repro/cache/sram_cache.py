@@ -143,8 +143,14 @@ class SramCache:
     def _fill_fast(self, bucket: "OrderedDict[int, bool]", line: int, dirty: bool) -> None:
         if len(bucket) >= self.num_ways:
             if self._random:
-                keys = list(bucket.keys())
-                victim = keys[self._rng.randint(0, len(keys))]
+                # Advance an iterator instead of materialising the key list;
+                # the draw and the chosen victim are identical (dict iteration
+                # order is the order list(bucket.keys()) would have).
+                index = self._rng.randint(0, len(bucket))
+                iterator = iter(bucket)
+                for _ in range(index):
+                    next(iterator)
+                victim = next(iterator)
                 victim_dirty = bucket.pop(victim)
             else:
                 # LRU keeps recency order, FIFO keeps insertion order; both

@@ -21,7 +21,7 @@ import json
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, TextIO
 
 from repro.campaign.driver import CampaignReport, run_campaign
 from repro.campaign.executor import CellOutcome
@@ -167,7 +167,7 @@ def _format_duration(seconds: float) -> str:
 
 
 def _print_progress(
-    done: int, total: int, outcome: CellOutcome, stream, start: Optional[float] = None
+    done: int, total: int, outcome: CellOutcome, stream: TextIO, start: Optional[float] = None
 ) -> None:
     if outcome.from_store:
         status = "store"
@@ -205,7 +205,7 @@ def _report_table(report: CampaignReport) -> str:
     return format_table(headers, rows, title=f"Campaign '{report.spec.name}'")
 
 
-def cmd_run(args: argparse.Namespace, stream) -> int:
+def cmd_run(args: argparse.Namespace, stream: TextIO) -> int:
     spec = spec_from_args(args)
     store = ResultStore(args.store)
     obs = None if args.no_obs else ObsSink.for_directory(Path(args.store) / "obs")
@@ -238,7 +238,7 @@ def cmd_run(args: argparse.Namespace, stream) -> int:
     return 1 if report.errors else 0
 
 
-def _print_live(obs_dir: Path, stream) -> bool:
+def _print_live(obs_dir: Path, stream: TextIO) -> bool:
     """One live telemetry snapshot from heartbeats + events; True once ended."""
     events_path = obs_dir / "events.jsonl"
     records = read_events(events_path) if events_path.exists() else []
@@ -293,7 +293,7 @@ def _print_live(obs_dir: Path, stream) -> bool:
     return ended
 
 
-def cmd_status(args: argparse.Namespace, stream) -> int:
+def cmd_status(args: argparse.Namespace, stream: TextIO) -> int:
     store = ResultStore(args.store, create=False)
     if args.live:
         obs_dir = Path(args.store) / "obs"
@@ -327,7 +327,7 @@ def cmd_status(args: argparse.Namespace, stream) -> int:
     return 0
 
 
-def cmd_export(args: argparse.Namespace, stream) -> int:
+def cmd_export(args: argparse.Namespace, stream: TextIO) -> int:
     store = ResultStore(args.store, create=False)
     exporter = export_csv if args.format == "csv" else export_json
     if args.output:
@@ -339,7 +339,7 @@ def cmd_export(args: argparse.Namespace, stream) -> int:
     return 0
 
 
-def main(argv: Optional[List[str]] = None, stream=None) -> int:
+def main(argv: Optional[List[str]] = None, stream: Optional[TextIO] = None) -> int:
     stream = stream if stream is not None else sys.stdout
     args = build_parser().parse_args(argv)
     try:

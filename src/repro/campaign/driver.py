@@ -11,7 +11,7 @@ happened to share.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.campaign.executor import (
     CellOutcome,
@@ -21,6 +21,9 @@ from repro.campaign.executor import (
 )
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
+
+if TYPE_CHECKING:
+    from repro.obs.events import ObsSink
 
 
 @dataclass
@@ -82,7 +85,7 @@ def run_campaign(
     workers: int = 1,
     progress: Optional[ProgressFn] = None,
     force: bool = False,
-    obs=None,
+    obs: Optional["ObsSink"] = None,
 ) -> CampaignReport:
     """Run (or resume) a campaign.
 

@@ -33,6 +33,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 from repro.campaign.spec import CampaignCell
 from repro.experiments.runner import run_simulation
 from repro.obs.events import ObsSink
+from repro.obs.heartbeat import HeartbeatWriter
 from repro.sim.results import SimulationResults
 
 #: progress callback: (completed_count, total_count, outcome)
@@ -59,7 +60,7 @@ def execute_cell(
     cell: CampaignCell,
     obs: Optional[ObsSink] = None,
     worker: Optional[str] = None,
-    heartbeat=None,
+    heartbeat: Optional[HeartbeatWriter] = None,
 ) -> CellOutcome:
     """Run one cell, capturing any exception as an error outcome.
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, TextIO
 
 from repro.campaign.store import ResultStore
 from repro.sim.results import SimulationResults
@@ -64,7 +64,7 @@ def result_rows(store: ResultStore) -> List[Dict]:
     return rows
 
 
-def export_csv(store: ResultStore, output=None) -> str:
+def export_csv(store: ResultStore, output: Optional[TextIO] = None) -> str:
     """Write the store as CSV; returns the text (and writes to ``output`` file object if given)."""
     rows = result_rows(store)
     buffer = io.StringIO()
@@ -78,7 +78,7 @@ def export_csv(store: ResultStore, output=None) -> str:
     return text
 
 
-def export_json(store: ResultStore, output=None, indent: Optional[int] = 2) -> str:
+def export_json(store: ResultStore, output: Optional[TextIO] = None, indent: Optional[int] = 2) -> str:
     """Write the store as a JSON array of flat rows (newline-terminated)."""
     text = json.dumps(result_rows(store), indent=indent, sort_keys=True) + "\n"
     if output is not None:

@@ -17,7 +17,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.dramcache.variants import resolve_scheme
 from repro.experiments.runner import (
@@ -35,7 +35,7 @@ SchemeEntry = Tuple[str, str, Dict]
 PRESETS = ("tiny", "scaled", "paper")
 
 
-def normalize_scheme(entry) -> SchemeEntry:
+def normalize_scheme(entry: Union[str, Sequence[object]]) -> SchemeEntry:
     """Accept ``"banshee"``, ``("label", "scheme")`` or ``("label", "scheme", overrides)``.
 
     The scheme name (base scheme or registered variant) is validated here,

@@ -31,7 +31,7 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Union
 
 from repro.sim.results import SimulationResults
 
@@ -41,7 +41,7 @@ RESULTS_FILENAME = "results.jsonl"
 class ResultStore:
     """On-disk simulation-result store backing campaigns and figure caches."""
 
-    def __init__(self, directory, create: bool = True) -> None:
+    def __init__(self, directory: Union[str, Path], create: bool = True) -> None:
         """Open (and by default create) the store at ``directory``.
 
         ``create=False`` opens an existing store only — read-only consumers

@@ -58,6 +58,12 @@ from repro.util.rng import DeterministicRng
 
 __all__ = ["METADATA_ACCESS_BYTES", "BansheeCache", "BansheePartition"]
 
+#: Shared read-only mapping used when a request carries none (unit tests and
+#: direct scheme drivers; the simulated System always attaches a mapping).
+#: ``_demand`` only reads ``cached``/``way``, so one module-level instance
+#: replaces a per-access fallback allocation.
+_DEFAULT_MAPPING = MappingInfo()
+
 
 class BansheePartition:
     """State of the DRAM cache for one page size (regular or large pages)."""
@@ -82,6 +88,8 @@ class BansheePartition:
         self.resident: Dict[int, int] = self.directory.pages
         self.dirty: set = self.directory.dirty
         self.lru = LruPolicy(self.num_sets, self.ways) if policy == "lru" else None
+        # Reused validity vector for the LRU ablation's victim search.
+        self._valid_scratch: List[bool] = [False] * self.ways
         # Wired by BansheeCache.__init__ (they need the scheme's shared
         # miss-rate window, RNG and stats); kept on the partition so the
         # demand hot path reaches them without a per-access dict lookup.
@@ -195,7 +203,7 @@ class BansheeCache(DramCacheScheme):
         if entry is not None:
             carried_cached, carried_way = entry.cached, entry.way
         else:
-            mapping = request.mapping if request.mapping is not None else MappingInfo()
+            mapping = request.mapping if request.mapping is not None else _DEFAULT_MAPPING
             carried_cached, carried_way = mapping.cached, mapping.way
             # Allocate a clean (remap=0) entry so later dirty evictions of
             # this page avoid the in-DRAM tag probe (Section 3.3).
@@ -225,7 +233,7 @@ class BansheeCache(DramCacheScheme):
         # drives the adaptive sample rate (Section 4.2.1).
         partition.sampler.record(cached)
         self._run_replacement_policy(now + latency, request, page, partition, mc_id, cached)
-        return AccessResult(latency=latency, dram_cache_hit=cached, served_by=served_by)
+        return self._result_of(latency, cached, served_by)
 
     def _writeback(
         self, now: int, request: MemRequest, page: int, partition: BansheePartition, mc_id: int
@@ -243,9 +251,9 @@ class BansheeCache(DramCacheScheme):
         if cached:
             self.flows.writeback_to_cache(now, request.addr)
             partition.mark_dirty(page)
-            return AccessResult(latency=0, dram_cache_hit=True, served_by="in-package")
+            return self._result_of(0, True, "in-package")
         self.flows.writeback_to_off(now, request.addr)
-        return AccessResult(latency=0, dram_cache_hit=False, served_by="off-package")
+        return self._result_of(0, False, "off-package")
 
     # ------------------------------------------------------------------ replacement policies
 
@@ -335,7 +343,10 @@ class BansheeCache(DramCacheScheme):
             return
 
         meta = partition.metadata[set_index]
-        valid_ways = [slot.valid for slot in meta.cached]
+        valid_ways = partition._valid_scratch
+        cached = meta.cached
+        for way in range(partition.ways):
+            valid_ways[way] = cached[way].valid
         victim_way = partition.lru.victim(set_index, valid_ways)
         victim_slot = meta.cached[victim_way]
         if victim_slot.valid:

@@ -11,20 +11,28 @@ keeping the counters in range.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 INVALID_PAGE = -1
 
 
-@dataclass
 class MetadataSlot:
-    """One (tag, counter) slot of a metadata record."""
+    """One (tag, counter) slot of a metadata record.
 
-    page: int = INVALID_PAGE
-    count: int = 0
-    valid: bool = False
-    dirty: bool = False
+    A plain ``__slots__`` class (not a dataclass): slots are read and
+    mutated on the sampled-update hot path, and a dataclass cannot combine
+    ``__slots__`` with field defaults on Python 3.9.
+    """
+
+    __slots__ = ("page", "count", "valid", "dirty")
+
+    def __init__(
+        self, page: int = INVALID_PAGE, count: int = 0, valid: bool = False, dirty: bool = False
+    ) -> None:
+        self.page = page
+        self.count = count
+        self.valid = valid
+        self.dirty = dirty
 
     def clear(self) -> None:
         """Reset the slot to the invalid state."""
@@ -32,6 +40,18 @@ class MetadataSlot:
         self.count = 0
         self.valid = False
         self.dirty = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"MetadataSlot(page={self.page!r}, count={self.count!r}, "
+            f"valid={self.valid!r}, dirty={self.dirty!r})"
+        )
+
+
+#: Shared read-only stand-in for "no candidate slots configured": `promote`
+#: only reads it (the ``if self.candidates`` guard skips every mutation), so
+#: one module-level instance replaces a per-replacement allocation.
+_EMPTY_SLOT = MetadataSlot()
 
 
 class FrequencySetMetadata:
@@ -75,7 +95,8 @@ class FrequencySetMetadata:
             if best_count is None or count < best_count:
                 best_way = way
                 best_count = count
-        return best_way, best_count if best_count is not None else 0
+        # One result tuple per sampled metadata update (not per record).
+        return best_way, best_count if best_count is not None else 0  # repro: allow[hotpath-alloc]
 
     def free_way(self) -> Optional[int]:
         """An invalid cached slot, if one exists."""
@@ -120,7 +141,7 @@ class FrequencySetMetadata:
         later.  Returns ``(old_page, old_count, old_dirty)`` describing the
         victim (``INVALID_PAGE`` when the way was empty).
         """
-        cand = self.candidates[candidate_index] if self.candidates else MetadataSlot()
+        cand = self.candidates[candidate_index] if self.candidates else _EMPTY_SLOT
         target = self.cached[way]
         old_page, old_count, old_dirty = target.page, target.count, target.dirty
         old_valid = target.valid
@@ -138,7 +159,9 @@ class FrequencySetMetadata:
                 cand.dirty = False
             else:
                 cand.clear()
-        return (old_page if old_valid else INVALID_PAGE, old_count, old_dirty)
+        # One victim-descriptor tuple per replacement (replacements are rare
+        # by design: the FBR threshold gates them).
+        return (old_page if old_valid else INVALID_PAGE, old_count, old_dirty)  # repro: allow[hotpath-alloc]
 
     def fill_way(self, way: int, page: int, count: int, dirty: bool) -> None:
         """Directly install ``page`` into a cached way (used by the LRU ablation)."""

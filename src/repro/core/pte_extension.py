@@ -36,8 +36,15 @@ class PteUpdateBatcher:
         self.os = os_services
 
     def needs_flush(self, threshold: float) -> bool:
-        """True if any tag buffer's remap occupancy reached ``threshold``."""
-        return any(buffer.remap_fraction >= threshold for buffer in self.tag_buffers)
+        """True if any tag buffer's remap occupancy reached ``threshold``.
+
+        Checked after every recorded remap, so a plain loop (a generator
+        expression here would allocate on the demand hot path).
+        """
+        for buffer in self.tag_buffers:
+            if buffer.remap_fraction >= threshold:
+                return True
+        return False
 
     def collect_updates(self) -> List[Tuple[int, bool, int]]:
         """All (page, cached, way) remaps not yet reflected in the PTEs."""

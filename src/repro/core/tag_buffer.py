@@ -18,21 +18,33 @@ controller must trigger a flush before it can accept another remap.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.util.bits import is_power_of_two
 
 
-@dataclass
 class TagBufferEntry:
-    """One tag-buffer entry."""
+    """One tag-buffer entry.
 
-    page: int
-    cached: bool
-    way: int
-    remap: bool
-    last_use: int = 0
+    A plain ``__slots__`` class (not a dataclass): entries are created on the
+    demand hot path and mutated in place on every lookup, so dict-backed
+    instances would cost space and time per resident mapping.
+    """
+
+    __slots__ = ("page", "cached", "way", "remap", "last_use")
+
+    def __init__(self, page: int, cached: bool, way: int, remap: bool, last_use: int = 0) -> None:
+        self.page = page
+        self.cached = cached
+        self.way = way
+        self.remap = remap
+        self.last_use = last_use
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TagBufferEntry(page={self.page!r}, cached={self.cached!r}, "
+            f"way={self.way!r}, remap={self.remap!r}, last_use={self.last_use!r})"
+        )
 
 
 class TagBufferFullError(RuntimeError):
@@ -108,17 +120,27 @@ class TagBuffer:
                 raise TagBufferFullError(f"set {self._set_of(page)} has only remap entries")
             del bucket[victim.page]
 
+        # The entry is retained in the buffer until evicted or flushed, so it
+        # cannot come from a reuse pool.  # repro: allow[hotpath-alloc]
         bucket[page] = TagBufferEntry(page=page, cached=cached, way=way, remap=remap, last_use=self._tick())
         self.inserts += 1
         if remap:
             self.remap_inserts += 1
 
     def _pick_victim(self, bucket: Dict[int, TagBufferEntry]) -> Optional[TagBufferEntry]:
-        """LRU among non-remap entries (remap entries are not evictable)."""
-        candidates = [entry for entry in bucket.values() if not entry.remap]
-        if not candidates:
-            return None
-        return min(candidates, key=lambda entry: entry.last_use)
+        """LRU among non-remap entries (remap entries are not evictable).
+
+        A plain scan (no candidate list, no key lambda): this runs on the
+        demand hot path whenever a set is full.  Ties keep the first-seen
+        entry, matching ``min`` over the same iteration order.
+        """
+        victim: Optional[TagBufferEntry] = None
+        for entry in bucket.values():
+            if entry.remap:
+                continue
+            if victim is None or entry.last_use < victim.last_use:
+                victim = entry
+        return victim
 
     # ------------------------------------------------------------------ flush support
 

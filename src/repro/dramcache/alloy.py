@@ -107,7 +107,7 @@ class AlloyCache(DramCacheScheme):
             if request.is_write:
                 store.mark_dirty(frame)
             self.record_hit(True)
-            return AccessResult(latency=latency, dram_cache_hit=True, served_by=served_by)
+            return self._result_of(latency, True, served_by)
 
         # Miss: the speculative TAD read is wasted, then fetch from off-package.
         spec_latency = self.probe.speculative_read(now, line_addr)
@@ -117,7 +117,7 @@ class AlloyCache(DramCacheScheme):
 
         if self.rng.chance(self.fill_probability):
             self._fill(now + latency, frame, line, line_addr, request.is_write)
-        return AccessResult(latency=latency, dram_cache_hit=False, served_by="off-package")
+        return self._result_of(latency, False, "off-package")
 
     def _fill(self, now: int, frame: int, line: int, line_addr: int, dirty: bool) -> None:
         victim, victim_dirty = self.store.install(frame, line, dirty)
@@ -137,7 +137,7 @@ class AlloyCache(DramCacheScheme):
             self.flows.writeback_to_cache(now, line_addr)
             self.store.mark_dirty(self.store.frame_of(line))
             self.stats.inc("writeback_hits")
-            return AccessResult(latency=0, dram_cache_hit=True, served_by="in-package")
+            return self._result_of(0, True, "in-package")
         self.flows.writeback_to_off(now, line_addr)
         self.stats.inc("writeback_misses")
-        return AccessResult(latency=0, dram_cache_hit=False, served_by="off-package")
+        return self._result_of(0, False, "off-package")

@@ -81,6 +81,11 @@ class DramCacheScheme(ABC):
         # ``self.in_dram.access_latency`` attribute chain is worth removing.
         self._in_access = self.in_dram.access_latency
         self._off_access = self.off_dram.access_latency
+        # Preallocated result record, returned by ``_result_of``: the System
+        # reads ``latency`` synchronously before issuing the next request and
+        # never retains a result, so one mutated-in-place instance per scheme
+        # replaces an AccessResult allocation per LLC miss and writeback.
+        self._result = AccessResult(latency=0)
 
     # ------------------------------------------------------------------ interface
 
@@ -103,6 +108,22 @@ class DramCacheScheme(ABC):
         return False
 
     # ------------------------------------------------------------------ helpers
+
+    def _result_of(
+        self, latency: int, dram_cache_hit: Optional[bool], served_by: str
+    ) -> AccessResult:
+        """Fill and return the scheme's reused :class:`AccessResult`.
+
+        The returned object is only valid until the next ``access`` call on
+        this scheme; callers that need to retain a result must copy its
+        fields (the hot path — :meth:`repro.sim.system.System.process_record`
+        — reads ``latency`` immediately and drops the reference).
+        """
+        result = self._result
+        result.latency = latency
+        result.dram_cache_hit = dram_cache_hit
+        result.served_by = served_by
+        return result
 
     def record_hit(self, hit: bool) -> None:
         """Track demand hit/miss counts for MPKI and miss-rate reporting."""

@@ -22,10 +22,10 @@ class CacheOnly(DramCacheScheme):
     def access(self, now: int, request: MemRequest, mc_id: int) -> AccessResult:
         if request.is_writeback:
             self.background_in(now, request.addr, self.line_size, TrafficCategory.WRITEBACK)
-            return AccessResult(latency=0, dram_cache_hit=None, served_by="in-package")
+            return self._result_of(0, None, "in-package")
         latency = self.read_in(now, request.addr, self.line_size, TrafficCategory.HIT_DATA)
         self.record_hit(True)
-        return AccessResult(latency=latency, dram_cache_hit=True, served_by="in-package")
+        return self._result_of(latency, True, "in-package")
 
     def is_resident(self, page: int) -> bool:
         return True

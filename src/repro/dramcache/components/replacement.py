@@ -95,6 +95,8 @@ class SampledFrequencyPolicy:
             meta.increment(slot)
             min_way, min_count = meta.min_cached()
             if slot.count > min_count + self.threshold:
+                # One decision tuple per ordered replacement (threshold-gated,
+                # rare by design).  # repro: allow[hotpath-alloc]
                 return (candidate_index, min_way)
         else:
             self._track_new_candidate(meta, page)

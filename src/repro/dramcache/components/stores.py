@@ -70,6 +70,8 @@ class DirectMappedLineStore:
         self.tags[frame] = line
         if dirty:
             self.dirty_frames.add(frame)
+        # One result tuple per fill (misses only, further gated by Alloy's
+        # stochastic fill probability).  # repro: allow[hotpath-alloc]
         return victim, victim_dirty
 
 
@@ -86,7 +88,7 @@ class _StoredPage:
 class SetAssociativePageStore:
     """Set-associative page residency with a pluggable replacement policy."""
 
-    __slots__ = ("num_sets", "ways", "policy", "_sets", "_where")
+    __slots__ = ("num_sets", "ways", "policy", "_sets", "_where", "_valid_scratch")
 
     def __init__(self, num_sets: int, ways: int, policy: ReplacementPolicy) -> None:
         if num_sets <= 0 or ways <= 0:
@@ -96,6 +98,8 @@ class SetAssociativePageStore:
         self.policy = policy
         self._sets: List[List[Optional[_StoredPage]]] = [[None] * ways for _ in range(num_sets)]
         self._where: Dict[int, Tuple[int, int]] = {}
+        # Reused validity vector for victim_way (runs on every miss).
+        self._valid_scratch: List[bool] = [False] * ways
 
     def set_of(self, page: int) -> int:
         """Set index that ``page`` maps to."""
@@ -121,7 +125,10 @@ class SetAssociativePageStore:
 
     def victim_way(self, set_index: int) -> int:
         """Way the policy wants to evict from ``set_index`` (invalid ways first)."""
-        ways_valid = [entry is not None for entry in self._sets[set_index]]
+        ways_valid = self._valid_scratch
+        row = self._sets[set_index]
+        for way in range(self.ways):
+            ways_valid[way] = row[way] is not None
         return self.policy.victim(set_index, ways_valid)
 
     def evict(self, set_index: int, way: int) -> Optional[_StoredPage]:
@@ -134,10 +141,13 @@ class SetAssociativePageStore:
 
     def install(self, set_index: int, way: int, page: int, dirty: bool) -> _StoredPage:
         """Place ``page`` into ``(set_index, way)`` (the way must be free)."""
-        entry = _StoredPage(page)
+        # Both the frame record and its location tuple are retained until the
+        # page is evicted, so neither can be pooled; installs happen per miss,
+        # not per record.
+        entry = _StoredPage(page)  # repro: allow[hotpath-alloc]
         entry.dirty = dirty
         self._sets[set_index][way] = entry
-        self._where[page] = (set_index, way)
+        self._where[page] = (set_index, way)  # repro: allow[hotpath-alloc]
         self.policy.on_fill(set_index, way)
         return entry
 

@@ -41,6 +41,8 @@ class FootprintPredictor:
 
     def on_fill(self, page: int) -> None:
         """A page was filled into the DRAM cache; start tracking its footprint."""
+        # The tracking set is retained for the page's whole residency (one
+        # per fill, not per record).  # repro: allow[hotpath-alloc]
         self._touched[page] = set()
 
     def on_access(self, page: int, addr: int) -> None:

@@ -74,9 +74,9 @@ class HmaCache(DramCacheScheme):
             if self.store.is_resident(page):
                 self.store.mark_dirty(page)
                 self.flows.writeback_to_cache(now, request.addr)
-                return AccessResult(latency=0, dram_cache_hit=True, served_by="in-package")
+                return self._result_of(0, True, "in-package")
             self.flows.writeback_to_off(now, request.addr)
-            return AccessResult(latency=0, dram_cache_hit=False, served_by="off-package")
+            return self._result_of(0, False, "off-package")
 
         self._epoch_counts[page] += 1
         if self.store.is_resident(page):
@@ -84,11 +84,11 @@ class HmaCache(DramCacheScheme):
             if request.is_write:
                 self.store.mark_dirty(page)
             self.record_hit(True)
-            return AccessResult(latency=latency, dram_cache_hit=True, served_by="in-package")
+            return self._result_of(latency, True, "in-package")
 
         latency = self.read_off(now, request.addr, self.line_size, TrafficCategory.HIT_DATA)
         self.record_hit(False)
-        return AccessResult(latency=latency, dram_cache_hit=False, served_by="off-package")
+        return self._result_of(latency, False, "off-package")
 
     # ------------------------------------------------------------------ periodic remap
 

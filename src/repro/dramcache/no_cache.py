@@ -18,7 +18,7 @@ class NoCache(DramCacheScheme):
     def access(self, now: int, request: MemRequest, mc_id: int) -> AccessResult:
         if request.is_writeback:
             self.background_off(now, request.addr, self.line_size, TrafficCategory.WRITEBACK)
-            return AccessResult(latency=0, dram_cache_hit=None, served_by="off-package")
+            return self._result_of(0, None, "off-package")
         latency = self.read_off(now, request.addr, self.line_size, TrafficCategory.HIT_DATA)
         self.record_hit(False)
-        return AccessResult(latency=latency, dram_cache_hit=False, served_by="off-package")
+        return self._result_of(latency, False, "off-package")

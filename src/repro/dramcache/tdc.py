@@ -76,14 +76,14 @@ class TaglessDramCache(DramCacheScheme):
                 self.store.mark_dirty(page)
             self.footprint.on_access(page, request.addr)
             self.record_hit(True)
-            return AccessResult(latency=latency, dram_cache_hit=True, served_by="in-package")
+            return self._result_of(latency, True, "in-package")
 
         # Miss: the mapping was already known from the TLB, so the demand line
         # comes straight from off-package DRAM with no DRAM-cache probe.
         latency = self.read_off(now, request.addr, self.line_size, TrafficCategory.MISS_DATA)
         self.record_hit(False)
         self._fill(now + latency, request, page)
-        return AccessResult(latency=latency, dram_cache_hit=False, served_by="off-package")
+        return self._result_of(latency, False, "off-package")
 
     def _fill(self, now: int, request: MemRequest, page: int) -> None:
         """Replacement on every miss with FIFO eviction."""
@@ -111,6 +111,6 @@ class TaglessDramCache(DramCacheScheme):
             self.store.mark_dirty(page)
             self.flows.writeback_to_cache(now, request.addr)
             self.footprint.on_access(page, request.addr)
-            return AccessResult(latency=0, dram_cache_hit=True, served_by="in-package")
+            return self._result_of(0, True, "in-package")
         self.flows.writeback_to_off(now, request.addr)
-        return AccessResult(latency=0, dram_cache_hit=False, served_by="off-package")
+        return self._result_of(0, False, "off-package")

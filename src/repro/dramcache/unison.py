@@ -91,7 +91,7 @@ class UnisonCache(DramCacheScheme):
             self.store.mark_dirty(set_index, way)
         self.footprint.on_access(page, request.addr)
         self.record_hit(True)
-        return AccessResult(latency=latency, dram_cache_hit=True, served_by="in-package")
+        return self._result_of(latency, True, "in-package")
 
     def _miss(self, now: int, request: MemRequest, page: int) -> AccessResult:
         # Speculative tag + data read in the DRAM cache, then the real fetch.
@@ -100,7 +100,7 @@ class UnisonCache(DramCacheScheme):
         latency = spec_latency + off_latency
         self.record_hit(False)
         self._replace(now + latency, request, page)
-        return AccessResult(latency=latency, dram_cache_hit=False, served_by="off-package")
+        return self._result_of(latency, False, "off-package")
 
     def _replace(self, now: int, request: MemRequest, page: int) -> None:
         """Replacement happens on every miss (Table 1)."""
@@ -136,9 +136,10 @@ class UnisonCache(DramCacheScheme):
         self.probe.probe(now, request.addr)
         location = self.store.lookup(page)
         if location is not None:
-            self.store.mark_dirty(*location)
+            set_index, way = location
+            self.store.mark_dirty(set_index, way)
             self.flows.writeback_to_cache(now, request.addr)
             self.footprint.on_access(page, request.addr)
-            return AccessResult(latency=0, dram_cache_hit=True, served_by="in-package")
+            return self._result_of(0, True, "in-package")
         self.flows.writeback_to_off(now, request.addr)
-        return AccessResult(latency=0, dram_cache_hit=False, served_by="off-package")
+        return self._result_of(0, False, "off-package")

@@ -26,7 +26,10 @@ import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.obs.heartbeat import HeartbeatWriter
 
 #: Known event types (the schema CI validates against).
 EVENT_TYPES = frozenset({
@@ -165,7 +168,7 @@ class ObsSink:
     def event_log(self) -> Optional[EventLog]:
         return EventLog(self.events_path) if self.events_path else None
 
-    def heartbeat_writer(self, worker: str):
+    def heartbeat_writer(self, worker: str) -> Optional["HeartbeatWriter"]:
         if not self.heartbeat_dir:
             return None
         from repro.obs.heartbeat import HeartbeatWriter

@@ -38,7 +38,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name == "SimulationEngine":
         from repro.sim.engine import SimulationEngine
 

@@ -302,7 +302,7 @@ class DramCacheConfig:
         return min(threshold, max(1, self.counter_max // 2))
 
 
-def preset_dram_cache(scheme: str, **preset_values) -> DramCacheConfig:
+def preset_dram_cache(scheme: str, **preset_values: object) -> DramCacheConfig:
     """Build a preset's ``DramCacheConfig``, recording the preset baselines.
 
     Presets scale some DRAM-cache parameters (e.g. the tiny preset's
@@ -417,7 +417,7 @@ class SystemConfig:
 
     # ------------------------------------------------------------------ helpers
 
-    def with_scheme(self, scheme: str, **dram_cache_overrides) -> "SystemConfig":
+    def with_scheme(self, scheme: str, **dram_cache_overrides: object) -> "SystemConfig":
         """Return a copy of this configuration with a different DRAM cache scheme.
 
         ``scheme`` may be a base scheme or a variant name (validated here, so
@@ -445,7 +445,7 @@ class SystemConfig:
         new_dc = dataclasses.replace(dram_cache, scheme=scheme, **reverts, **dram_cache_overrides)
         return dataclasses.replace(self, dram_cache=new_dc)
 
-    def with_overrides(self, **overrides) -> "SystemConfig":
+    def with_overrides(self, **overrides: object) -> "SystemConfig":
         """Return a copy with top-level fields replaced."""
         return dataclasses.replace(self, **overrides)
 

@@ -12,10 +12,14 @@ from __future__ import annotations
 
 import heapq
 import time
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.sim.results import SimulationResults
 from repro.sim.system import System
+
+if TYPE_CHECKING:
+    from repro.obs.events import EventLog
+    from repro.obs.timeline import TimelineObserver
 
 
 class SimulationEngine:
@@ -33,8 +37,8 @@ class SimulationEngine:
         max_records_per_core: int,
         max_total_records: Optional[int] = None,
         warmup_records_per_core: int = 0,
-        observer=None,
-        events=None,
+        observer: Optional["TimelineObserver"] = None,
+        events: Optional["EventLog"] = None,
     ) -> SimulationResults:
         """Run the simulation and return its results.
 
@@ -63,6 +67,8 @@ class SimulationEngine:
                 f"warmup_records_per_core must be in [0, max_records_per_core), "
                 f"got {warmup_records_per_core} with max_records_per_core={max_records_per_core}"
             )
+        # Wall time is reported, never simulated: it feeds the results'
+        # wall_time_seconds diagnostic only.  # repro: allow[determinism]
         start_time = time.perf_counter()
         system = self.system
         workload = system.workload
@@ -112,7 +118,7 @@ class SimulationEngine:
         process_record = system.process_record
         heappush = heapq.heappush
         heappop = heapq.heappop
-        while heap and processed < total_budget:
+        while heap and processed < total_budget:  # repro: hotpath
             _clock, core_id = heappop(heap)
             if remaining[core_id] <= 0:
                 continue
@@ -138,14 +144,16 @@ class SimulationEngine:
                 observer.snapshot(processed)
                 next_window = processed + observer.interval
             if remaining[core_id] > 0:
-                heappush(heap, (new_clock, core_id))
+                # heapq's API requires a fresh (clock, core) entry; this is
+                # the loop's one deliberate per-record allocation.
+                heappush(heap, (new_clock, core_id))  # repro: allow[hotpath-alloc]
 
         self.records_processed = processed
         self.total_records_processed += processed
         if observing:
             observer.finish(processed)
         system.finalize()
-        elapsed = time.perf_counter() - start_time
+        elapsed = time.perf_counter() - start_time  # repro: allow[determinism]
         results = system.collect_results(wall_time_seconds=elapsed)
         if observing:
             results.timeline = observer.timeline.to_dict()

@@ -11,9 +11,12 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.util.serde import dataclass_from_dict
+
+if TYPE_CHECKING:
+    from repro.obs.timeline import Timeline
 
 
 @dataclass
@@ -153,7 +156,7 @@ class SimulationResults:
         payload.pop("wall_time_seconds")
         return payload
 
-    def timeline_object(self):
+    def timeline_object(self) -> Optional["Timeline"]:
         """The attached timeline as a :class:`repro.obs.Timeline` (or None)."""
         if self.timeline is None:
             return None

@@ -8,7 +8,11 @@ run-to-run and results in EXPERIMENTS.md can be regenerated exactly.
 
 from __future__ import annotations
 
+from typing import Any, Sequence, TypeVar
+
 import numpy as np
+
+T = TypeVar("T")
 
 
 class DeterministicRng:
@@ -48,13 +52,13 @@ class DeterministicRng:
         """Uniform integer in [low, high)."""
         return int(self._gen.integers(low, high))
 
-    def choice(self, sequence):
+    def choice(self, sequence: Sequence[T]) -> T:
         """Pick one element of a non-empty sequence uniformly."""
         if len(sequence) == 0:
             raise ValueError("cannot choose from an empty sequence")
         return sequence[self.randint(0, len(sequence))]
 
-    def shuffle(self, array) -> None:
+    def shuffle(self, array: Any) -> None:
         """Shuffle a numpy array or list in place."""
         self._gen.shuffle(array)
 

@@ -14,28 +14,48 @@ memory requests propagate (Section 4.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.vm.physical_memory import FrameAllocator
 from repro.vm.reverse_mapping import ReverseMapping
 
 
-@dataclass
 class PageTableEntry:
-    """One page-table entry (with the Banshee extension bits)."""
+    """One page-table entry (with the Banshee extension bits).
 
-    vpn: int
-    ppn: int
-    cached: bool = False
-    way: int = 0
-    large: bool = False
-    generation: int = 0
+    A plain ``__slots__`` class (not a dataclass): one entry exists per
+    mapped page and the translation hot path touches them constantly, so
+    dict-backed instances would dominate the page table's footprint.
+    """
+
+    __slots__ = ("vpn", "ppn", "cached", "way", "large", "generation")
+
+    def __init__(
+        self,
+        vpn: int,
+        ppn: int,
+        cached: bool = False,
+        way: int = 0,
+        large: bool = False,
+        generation: int = 0,
+    ) -> None:
+        self.vpn = vpn
+        self.ppn = ppn
+        self.cached = cached
+        self.way = way
+        self.large = large
+        self.generation = generation
 
     @property
     def mapping_bits(self) -> Tuple[bool, int]:
         """The (cached, way) pair copied into TLB entries and memory requests."""
         return (self.cached, self.way)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PageTableEntry(vpn={self.vpn!r}, ppn={self.ppn!r}, cached={self.cached!r}, "
+            f"way={self.way!r}, large={self.large!r}, generation={self.generation!r})"
+        )
 
 
 class PageTable:
@@ -92,6 +112,8 @@ class PageTable:
             ppn = vpn
         else:
             ppn = self.allocator.allocate()
+        # The PTE is retained for the life of the mapping and only built on a
+        # page fault (first touch).  # repro: allow[hotpath-alloc]
         entry = PageTableEntry(vpn=vpn, ppn=ppn)
         self._entries[vpn] = entry
         self.reverse_mapping.add(ppn, vpn)

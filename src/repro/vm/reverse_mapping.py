@@ -23,8 +23,19 @@ class ReverseMapping:
         self._map[ppn].add(vpn)
 
     def remove(self, ppn: int, vpn: int) -> None:
-        """Remove one mapping; silently ignores absent pairs."""
-        self._map.get(ppn, set()).discard(vpn)
+        """Remove one mapping; silently ignores absent pairs.
+
+        The frame's entry is pruned when its last mapping goes away —
+        otherwise a long-running simulation with page churn accumulates one
+        permanently-empty set per frame ever touched (and ``__len__`` had to
+        skip them on every call).
+        """
+        vpns = self._map.get(ppn)
+        if vpns is None:
+            return
+        vpns.discard(vpn)
+        if not vpns:
+            del self._map[ppn]
 
     def vpns_for(self, ppn: int) -> Iterable[int]:
         """All virtual pages currently mapping ``ppn``."""
@@ -35,4 +46,4 @@ class ReverseMapping:
         return len(self._map.get(ppn, ()))
 
     def __len__(self) -> int:
-        return sum(1 for vpns in self._map.values() if vpns)
+        return len(self._map)

@@ -11,23 +11,43 @@ after each batched PTE update.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Optional
 
 from repro.sim.config import TlbConfig
 from repro.vm.page_table import PageTableEntry
 
 
-@dataclass
 class TlbEntry:
-    """One TLB entry: a cached translation plus Banshee's extension bits."""
+    """One TLB entry: a cached translation plus Banshee's extension bits.
 
-    vpn: int
-    ppn: int
-    cached: bool
-    way: int
-    large: bool = False
-    generation: int = 0
+    A plain ``__slots__`` class (not a dataclass): one entry exists per
+    resident translation and the hot path reads its fields on every record,
+    so dict-backed instances would waste space and indirection.
+    """
+
+    __slots__ = ("vpn", "ppn", "cached", "way", "large", "generation")
+
+    def __init__(
+        self,
+        vpn: int,
+        ppn: int,
+        cached: bool,
+        way: int,
+        large: bool = False,
+        generation: int = 0,
+    ) -> None:
+        self.vpn = vpn
+        self.ppn = ppn
+        self.cached = cached
+        self.way = way
+        self.large = large
+        self.generation = generation
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"TlbEntry(vpn={self.vpn!r}, ppn={self.ppn!r}, cached={self.cached!r}, "
+            f"way={self.way!r}, large={self.large!r}, generation={self.generation!r})"
+        )
 
 
 class Tlb:
@@ -60,6 +80,8 @@ class Tlb:
         """Install a translation after a page walk."""
         if len(self._entries) >= self.config.entries and pte.vpn not in self._entries:
             self._entries.popitem(last=False)
+        # The entry is retained in the TLB and only built on a TLB miss (per
+        # page walk, not per record).  # repro: allow[hotpath-alloc]
         entry = TlbEntry(
             vpn=pte.vpn,
             ppn=pte.ppn,

@@ -44,6 +44,35 @@ def test_reverse_mapping_alias_count():
     assert set(rmap.vpns_for(10)) == {2}
 
 
+def test_reverse_mapping_remove_prunes_empty_frames():
+    """Removing a frame's last mapping must drop its entry entirely.
+
+    Regression test: ``remove`` used to leave a permanently-empty set in the
+    backing defaultdict for every frame ever touched, so a simulation with
+    page churn leaked one set per retired frame.
+    """
+    rmap = ReverseMapping()
+    for frame in range(100):
+        rmap.add(frame, frame + 1000)
+        rmap.remove(frame, frame + 1000)
+    assert len(rmap) == 0
+    assert rmap._map == {}  # no empty-set residue in the backing dict
+
+    # Removing a never-added pair must not (re)create an entry either.
+    rmap.remove(12345, 1)
+    assert rmap._map == {}
+
+    # Partial removal keeps the frame listed until the last alias goes.
+    rmap.add(7, 1)
+    rmap.add(7, 2)
+    rmap.remove(7, 1)
+    assert len(rmap) == 1
+    assert set(rmap.vpns_for(7)) == {2}
+    rmap.remove(7, 2)
+    assert len(rmap) == 0
+    assert rmap.alias_count(7) == 0
+
+
 def test_frame_allocator_reuses_freed_frames():
     allocator = FrameAllocator()
     first = allocator.allocate()
