@@ -7,6 +7,7 @@ trajectory across PRs (the same way the campaign store tracks result
 trajectories).
 """
 
+from repro.perf.compare import compare_payloads, format_comparison
 from repro.perf.harness import (
     DEFAULT_SCHEMES,
     DEFAULT_WORKLOADS,
@@ -18,5 +19,7 @@ __all__ = [
     "BenchCell",
     "DEFAULT_SCHEMES",
     "DEFAULT_WORKLOADS",
+    "compare_payloads",
+    "format_comparison",
     "run_benchmark",
 ]

@@ -3,6 +3,12 @@
 Times records/second for a scheme × workload matrix and writes
 ``BENCH_hotpath.json`` (JSON, see :func:`repro.perf.harness.run_benchmark`
 for the schema) so the throughput trajectory is tracked across PRs.
+``--engine`` selects the engine mode being timed (all modes produce
+bit-identical simulation results; only wall time differs).
+
+``--compare OLD.json NEW.json`` switches to A/B mode: no benchmark runs,
+the two payloads are diffed cell by cell with a noise band (``--noise``)
+so only real regressions/improvements are flagged.
 
 ``--smoke`` runs a tiny record budget — it exists for CI, where the point
 is catching hot-path regressions loudly and cheaply, not producing stable
@@ -16,7 +22,16 @@ import sys
 from typing import List, Optional
 
 from repro.dramcache.variants import available_scheme_names
+from repro.perf.compare import (
+    DEFAULT_NOISE,
+    compare_payloads,
+    format_comparison,
+    load_payload,
+)
 from repro.perf.harness import (
+    DEFAULT_NUM_CORES,
+    DEFAULT_RECORDS_PER_CORE,
+    DEFAULT_SCALE,
     DEFAULT_SCHEMES,
     DEFAULT_WORKLOADS,
     BenchCell,
@@ -24,6 +39,7 @@ from repro.perf.harness import (
     validate_matrix,
     write_report,
 )
+from repro.sim.engine import DEFAULT_ENGINE_MODE, ENGINE_MODES
 from repro.workloads.registry import available_workloads
 
 SMOKE_RECORDS_PER_CORE = 500
@@ -50,11 +66,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workloads", nargs="+", default=None,
                         help=f"workloads to time (default: {' '.join(DEFAULT_WORKLOADS)}; "
                              "registry names or trace:<path> replays)")
-    parser.add_argument("--records", type=int, default=10000,
-                        help="trace records per core per cell (default 10000)")
-    parser.add_argument("--cores", type=int, default=2, help="simulated cores (default 2)")
-    parser.add_argument("--scale", type=float, default=0.1,
-                        help="workload footprint scale (default 0.1)")
+    parser.add_argument("--records", type=int, default=DEFAULT_RECORDS_PER_CORE,
+                        help=f"trace records per core per cell (default {DEFAULT_RECORDS_PER_CORE})")
+    parser.add_argument("--cores", type=int, default=DEFAULT_NUM_CORES,
+                        help=f"simulated cores (default {DEFAULT_NUM_CORES})")
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                        help=f"workload footprint scale (default {DEFAULT_SCALE})")
+    parser.add_argument("--engine", choices=list(ENGINE_MODES), default=DEFAULT_ENGINE_MODE,
+                        help=f"engine mode to time (default {DEFAULT_ENGINE_MODE}; all modes "
+                             "are bit-identical, only wall time differs)")
     parser.add_argument("--seed", type=int, default=1, help="RNG seed (default 1)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="repeats per cell; best time is reported (default 3)")
@@ -70,11 +90,27 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile-top", type=int, default=15, metavar="N",
                         help="functions to keep per profile (default 15)")
     parser.add_argument("--quiet", action="store_true", help="suppress the per-cell table")
+    parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"), default=None,
+                        help="compare two benchmark payloads cell by cell instead of "
+                             "running a benchmark; ratios outside the noise band are flagged")
+    parser.add_argument("--noise", type=float, default=DEFAULT_NOISE, metavar="FRAC",
+                        help=f"half-width of the --compare noise band (default {DEFAULT_NOISE})")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.compare is not None:
+        old_path, new_path = args.compare
+        try:
+            report = compare_payloads(
+                load_payload(old_path), load_payload(new_path), noise=args.noise
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_comparison(report, old_path, new_path))
+        return 0
     records = args.records
     repeats = args.repeats
     if args.smoke:
@@ -102,7 +138,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if not args.quiet:
         print(f"# hot-path benchmark: {records} records/core, "
-              f"{args.cores} cores, {repeats} repeat(s), preset={args.preset}")
+              f"{args.cores} cores, {repeats} repeat(s), preset={args.preset}, "
+              f"engine={args.engine}")
     payload = run_benchmark(
         schemes=schemes,
         workloads=workloads,
@@ -114,6 +151,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         preset=args.preset,
         progress=progress,
         profile_top=args.profile_top if args.profile else None,
+        engine_mode=args.engine,
     )
     write_report(payload, args.output)
     aggregate = payload["aggregate"]

@@ -1,0 +1,136 @@
+"""Noise-aware A/B comparison of two hot-path benchmark payloads.
+
+``python -m repro.perf --compare OLD.json NEW.json`` matches cells by
+(scheme, workload), reports the per-cell throughput ratio and the geomean
+delta, and flags only the cells whose ratio falls outside the noise band
+``[1/(1+noise), 1+noise]`` — so a 2 % wobble on a noisy host doesn't read
+as a regression, and a real one can't hide inside a matrix-wide average.
+
+The comparison is deliberately dumb about *why* two payloads differ: it
+prints each side's engine mode and cell parameters and leaves the judgement
+to the reader.  Comparing payloads with different record budgets or scales
+is allowed (the ratio is records/second, already normalised), but the
+parameter block makes such apples-to-oranges runs visible.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Dict, List, Optional, Tuple
+
+#: Default half-width of the noise band (5 %): per-cell ratios within
+#: [1/1.05, 1.05] are considered measurement noise.
+DEFAULT_NOISE = 0.05
+
+
+def _cell_key(cell: Dict[str, object]) -> Tuple[str, str]:
+    return str(cell["scheme"]), str(cell["workload"])
+
+
+def _params_summary(payload: Dict[str, object]) -> Dict[str, object]:
+    params = payload.get("params", {})
+    if not isinstance(params, dict):
+        return {}
+    keep = ("engine_mode", "records_per_core", "num_cores", "scale", "repeats", "preset")
+    return {key: params[key] for key in keep if key in params}
+
+
+def compare_payloads(
+    old: Dict[str, object], new: Dict[str, object], noise: float = DEFAULT_NOISE
+) -> Dict[str, object]:
+    """Build the comparison report for two benchmark payloads.
+
+    Returns a dict with per-cell ``rows`` (ratio = new/old records/sec,
+    ``flag`` one of ``"faster"``/``"slower"``/``""``), the geomean ratio
+    over matched cells, each side's parameter summary, and the cells
+    present on only one side.  Raises ``ValueError`` when no cells match
+    (nothing to compare) or ``noise`` is negative.
+    """
+    if noise < 0:
+        raise ValueError("noise must be non-negative")
+    old_cells = {_cell_key(cell): cell for cell in old.get("cells", [])}  # type: ignore[union-attr]
+    new_cells = {_cell_key(cell): cell for cell in new.get("cells", [])}  # type: ignore[union-attr]
+    matched = [key for key in old_cells if key in new_cells]
+    if not matched:
+        raise ValueError("no (scheme, workload) cells in common; nothing to compare")
+    upper = 1.0 + noise
+    lower = 1.0 / upper
+    rows: List[Dict[str, object]] = []
+    log_sum = 0.0
+    for key in matched:
+        old_rps = float(old_cells[key]["records_per_sec"])  # type: ignore[arg-type]
+        new_rps = float(new_cells[key]["records_per_sec"])  # type: ignore[arg-type]
+        ratio = new_rps / old_rps if old_rps > 0 else float("inf")
+        if ratio > upper:
+            flag = "faster"
+        elif ratio < lower:
+            flag = "slower"
+        else:
+            flag = ""
+        rows.append({
+            "scheme": key[0],
+            "workload": key[1],
+            "old_records_per_sec": old_rps,
+            "new_records_per_sec": new_rps,
+            "ratio": ratio,
+            "flag": flag,
+            "old_engine_mode": old_cells[key].get("engine_mode", "scalar"),
+            "new_engine_mode": new_cells[key].get("engine_mode", "scalar"),
+        })
+        log_sum += math.log(ratio) if 0 < ratio < float("inf") else 0.0
+    rows.sort(key=lambda row: (row["scheme"], row["workload"]))
+    geomean_ratio = math.exp(log_sum / len(matched))
+    return {
+        "noise": noise,
+        "geomean_ratio": geomean_ratio,
+        "geomean_delta_percent": (geomean_ratio - 1.0) * 100.0,
+        "rows": rows,
+        "old_params": _params_summary(old),
+        "new_params": _params_summary(new),
+        "only_in_old": sorted(key for key in old_cells if key not in new_cells),
+        "only_in_new": sorted(key for key in new_cells if key not in old_cells),
+        "flagged": sum(1 for row in rows if row["flag"]),
+    }
+
+
+def format_comparison(report: Dict[str, object], old_name: str, new_name: str) -> str:
+    """Render the comparison report as the CLI's text table."""
+    lines: List[str] = []
+    lines.append(f"# hot-path comparison: {old_name} -> {new_name}")
+    lines.append(f"  old params: {report['old_params']}")
+    lines.append(f"  new params: {report['new_params']}")
+    noise = report["noise"]
+    lines.append(
+        f"{'scheme':10s} {'workload':10s} {'old rec/s':>12s} {'new rec/s':>12s} "
+        f"{'ratio':>7s}  flag (noise band ±{noise:.0%})"
+    )
+    for row in report["rows"]:  # type: ignore[union-attr]
+        modes = ""
+        if row["old_engine_mode"] != row["new_engine_mode"]:
+            modes = f" [{row['old_engine_mode']} -> {row['new_engine_mode']}]"
+        lines.append(
+            f"{row['scheme']:10s} {row['workload']:10s} "
+            f"{row['old_records_per_sec']:>12,.0f} {row['new_records_per_sec']:>12,.0f} "
+            f"{row['ratio']:>6.2f}x  {row['flag']}{modes}"
+        )
+    for key in report["only_in_old"]:  # type: ignore[union-attr]
+        lines.append(f"{key[0]:10s} {key[1]:10s} {'(only in old payload)':>33s}")
+    for key in report["only_in_new"]:  # type: ignore[union-attr]
+        lines.append(f"{key[0]:10s} {key[1]:10s} {'(only in new payload)':>33s}")
+    lines.append(
+        f"geomean ratio {report['geomean_ratio']:.2f}x "
+        f"({report['geomean_delta_percent']:+.1f}%) over "
+        f"{len(report['rows'])} matched cells, "  # type: ignore[arg-type]
+        f"{report['flagged']} outside the noise band"
+    )
+    return "\n".join(lines)
+
+
+def load_payload(path: str) -> Dict[str, object]:
+    """Read one benchmark payload (as written by :func:`write_report`)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or "cells" not in payload:
+        raise ValueError(f"{path} is not a hot-path benchmark payload (no 'cells')")
+    return payload

@@ -6,6 +6,20 @@ the core with the smallest local clock always executes its next trace record
 first.  This is what makes DRAM channel contention meaningful — a core that
 is stalled on a congested channel falls behind, and the other cores' requests
 arrive at the channels in front of its next one.
+
+Three engine modes drive that identical interleaving:
+
+* ``"scalar"`` — the reference loop: one record object at a time through an
+  iterator and a heap (heap-free when there is only one core).
+* ``"batch"`` (default) — column batches and run-length scheduling
+  (:mod:`repro.sim.batch`): whole runs of the minimum-clock core execute
+  without heap traffic, and TLB+L1 hits take an inlined fast path.
+* ``"numpy"`` — the batch engine plus the vectorized front-end filter
+  (:mod:`repro.sim.vector`), which classifies runs in bulk against flat
+  TLB/L1 mirrors.  Requires numpy (``pip install repro[fast]``).
+
+All modes are bit-identical: same record order, same arithmetic, same
+results (the hot-path golden tests pin this for every scheme).
 """
 
 from __future__ import annotations
@@ -14,6 +28,7 @@ import heapq
 import time
 from typing import TYPE_CHECKING, Optional
 
+from repro.sim.batch import BatchRunner
 from repro.sim.results import SimulationResults
 from repro.sim.system import System
 
@@ -21,12 +36,23 @@ if TYPE_CHECKING:
     from repro.obs.events import EventLog
     from repro.obs.timeline import TimelineObserver
 
+#: Engine modes accepted by :class:`SimulationEngine`.
+ENGINE_MODES = ("scalar", "batch", "numpy")
+
+#: Mode used when none is requested.
+DEFAULT_ENGINE_MODE = "batch"
+
 
 class SimulationEngine:
     """Trace-driven multicore simulation loop."""
 
-    def __init__(self, system: System) -> None:
+    def __init__(self, system: System, mode: Optional[str] = None) -> None:
+        if mode is None:
+            mode = DEFAULT_ENGINE_MODE
+        if mode not in ENGINE_MODES:
+            raise ValueError(f"unknown engine mode {mode!r}; choose one of {ENGINE_MODES}")
         self.system = system
+        self.mode = mode
         #: Records processed by the most recent :meth:`run` (reset per run).
         self.records_processed = 0
         #: Records processed across every :meth:`run` on this engine.
@@ -90,11 +116,6 @@ class SimulationEngine:
                 warmup_records_per_core=warmup_records_per_core,
             )
 
-        iterators = [workload.trace(core_id) for core_id in range(num_cores)]
-        remaining = [max_records_per_core] * num_cores
-        heap = [(0.0, core_id) for core_id in range(num_cores)]
-        heapq.heapify(heap)
-
         measurement_started = warmup_records_per_core <= 0
         warmup_threshold = num_cores * warmup_records_per_core
         total_budget = max_total_records if max_total_records is not None else float("inf")
@@ -104,58 +125,34 @@ class SimulationEngine:
         # ``max_total_records`` budget before processing a single record.
         # The cumulative count lives in ``total_records_processed``.
         self.records_processed = 0
-        processed = 0
 
-        # Observer state: ``observing`` is the single boolean the disabled
-        # path pays per record; window boundaries are plain int compares.
         observing = observer is not None
-        next_window = 0
-        if observing:
+        if observer is not None:
             observer.begin(system, warmup=not measurement_started)
-            next_window = observer.interval
 
-        # Hot loop: everything it touches per record is a local.
-        process_record = system.process_record
-        heappush = heapq.heappush
-        heappop = heapq.heappop
-        while heap and processed < total_budget:  # repro: hotpath
-            _clock, core_id = heappop(heap)
-            if remaining[core_id] <= 0:
-                continue
+        if self.mode == "scalar":
+            processed = self._run_scalar(
+                max_records_per_core, total_budget, warmup_threshold,
+                measurement_started, observer, events,
+            )
+        else:
+            runner = BatchRunner(system, vectorize=self.mode == "numpy")
             try:
-                record = next(iterators[core_id])
-            except StopIteration:
-                remaining[core_id] = 0
-                continue
-            new_clock = process_record(core_id, record)
-            remaining[core_id] -= 1
-            processed += 1
-            if not measurement_started and processed >= warmup_threshold:
-                system.begin_measurement()
-                measurement_started = True
-                if observing:
-                    # Force a window boundary exactly at the warmup edge so
-                    # the first measured window starts at begin_measurement.
-                    observer.start_measurement(processed)
-                    next_window = processed + observer.interval
-                if events is not None:
-                    events.emit("warmup_end", records=processed)
-            if observing and processed >= next_window:
-                observer.snapshot(processed)
-                next_window = processed + observer.interval
-            if remaining[core_id] > 0:
-                # heapq's API requires a fresh (clock, core) entry; this is
-                # the loop's one deliberate per-record allocation.
-                heappush(heap, (new_clock, core_id))  # repro: allow[hotpath-alloc]
+                processed = runner.run(
+                    max_records_per_core, total_budget, warmup_threshold,
+                    measurement_started, observer, events,
+                )
+            finally:
+                runner.detach()
 
         self.records_processed = processed
         self.total_records_processed += processed
-        if observing:
+        if observer is not None:
             observer.finish(processed)
         system.finalize()
         elapsed = time.perf_counter() - start_time  # repro: allow[determinism]
         results = system.collect_results(wall_time_seconds=elapsed)
-        if observing:
+        if observing and observer is not None:
             results.timeline = observer.timeline.to_dict()
         if events is not None:
             events.emit(
@@ -166,3 +163,90 @@ class SimulationEngine:
                 wall_seconds=round(elapsed, 6),
             )
         return results
+
+    def _run_scalar(
+        self,
+        max_records_per_core: int,
+        total_budget: float,
+        warmup_threshold: int,
+        measurement_started: bool,
+        observer: Optional["TimelineObserver"],
+        events: Optional["EventLog"],
+    ) -> int:
+        """The reference per-record loop; returns the records processed."""
+        system = self.system
+        workload = system.workload
+        num_cores = system.config.num_cores
+        processed = 0
+
+        # Observer state: ``observing`` is the single boolean the disabled
+        # path pays per record; window boundaries are plain int compares.
+        observing = observer is not None
+        next_window = observer.interval if observer is not None else 0
+
+        # Hot loop: everything it touches per record is a local.
+        process_cols = system.process_record_cols
+
+        if num_cores == 1:
+            # Single-core fast path: with one core there is nothing to
+            # interleave, so the heap (and its per-record tuple allocation)
+            # is pure overhead.  The processing order is trivially identical.
+            iterator = workload.trace(0)
+            remaining0 = max_records_per_core
+            while remaining0 > 0 and processed < total_budget:  # repro: hotpath
+                try:
+                    gap, addr, is_write = next(iterator)
+                except StopIteration:
+                    break
+                process_cols(0, gap, addr, is_write)
+                remaining0 -= 1
+                processed += 1
+                if not measurement_started and processed >= warmup_threshold:
+                    system.begin_measurement()
+                    measurement_started = True
+                    if observer is not None:
+                        observer.start_measurement(processed)
+                        next_window = processed + observer.interval
+                    if events is not None:
+                        events.emit("warmup_end", records=processed)
+                if observing and processed >= next_window and observer is not None:
+                    observer.snapshot(processed)
+                    next_window = processed + observer.interval
+            return processed
+
+        iterators = [workload.trace(core_id) for core_id in range(num_cores)]
+        remaining = [max_records_per_core] * num_cores
+        heap = [(0.0, core_id) for core_id in range(num_cores)]
+        heapq.heapify(heap)
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        while heap and processed < total_budget:  # repro: hotpath
+            _clock, core_id = heappop(heap)
+            if remaining[core_id] <= 0:
+                continue
+            try:
+                gap, addr, is_write = next(iterators[core_id])
+            except StopIteration:
+                remaining[core_id] = 0
+                continue
+            new_clock = process_cols(core_id, gap, addr, is_write)
+            remaining[core_id] -= 1
+            processed += 1
+            if not measurement_started and processed >= warmup_threshold:
+                system.begin_measurement()
+                measurement_started = True
+                if observer is not None:
+                    # Force a window boundary exactly at the warmup edge so
+                    # the first measured window starts at begin_measurement.
+                    observer.start_measurement(processed)
+                    next_window = processed + observer.interval
+                if events is not None:
+                    events.emit("warmup_end", records=processed)
+            if observing and processed >= next_window and observer is not None:
+                observer.snapshot(processed)
+                next_window = processed + observer.interval
+            if remaining[core_id] > 0:
+                # heapq's API requires a fresh (clock, core) entry; this is
+                # the loop's one deliberate per-record allocation.
+                heappush(heap, (new_clock, core_id))  # repro: allow[hotpath-alloc]
+        return processed

@@ -134,20 +134,25 @@ class System:
     # ------------------------------------------------------------------ per-record processing
 
     def process_record(self, core_id: int, record: TraceRecord) -> float:
-        """Process one trace record for ``core_id``; returns the new core clock.
+        """Process one trace record for ``core_id``; returns the new core clock."""
+        return self.process_record_cols(core_id, record.gap, record.addr, record.is_write)
 
-        This is the simulator's innermost loop — one call per trace record —
-        so the translate / hierarchy-walk / timing steps are inlined against
-        preallocated objects rather than composed from the public per-call
-        APIs (which remain for tests and non-hot callers).  The arithmetic is
-        identical to the composed path, so results stay bit-identical.
+    def process_record_cols(self, core_id: int, gap: int, addr: int, is_write: bool) -> float:
+        """Process one record given as its three columns; returns the new core clock.
+
+        This is the simulator's innermost loop — one call per trace record
+        (via :meth:`process_record` in the scalar engine, directly from the
+        column buffers in the batch engine) — so the translate /
+        hierarchy-walk / timing steps are inlined against preallocated
+        objects rather than composed from the public per-call APIs (which
+        remain for tests and non-hot callers).  The arithmetic is identical
+        to the composed path, so results stay bit-identical.
         """
         core = self.cores[core_id]
         if core._pending_stall > 0.0:
             core.apply_pending_stalls()
 
         # Compute phase (CoreModel.advance_compute, inlined).
-        gap = record.gap
         stats = core.stats
         cycles = gap / core._issue_width
         core.clock += cycles
@@ -155,14 +160,12 @@ class System:
         stats.compute_cycles += cycles
 
         # Address translation (System._translate, inlined).
-        addr = record.addr
         entry = self.tlbs[core_id].lookup(addr // self.page_size)
         if entry is None:
             entry = self.tlbs[core_id].fill(self._page_table_translate(addr))
             core.clock += self._page_walk_cycles
 
         # Hierarchy walk + timing (CoreModel.advance_memory, inlined).
-        is_write = record.is_write
         outcome = self._hierarchy_access(core_id, addr, is_write)
         stats.memory_accesses += 1
         if outcome.llc_miss:

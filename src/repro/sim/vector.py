@@ -1,0 +1,247 @@
+"""Vectorized front-end filter for the batch engine (opt-in numpy path).
+
+The filter keeps flat mirrors of each core's TLB keys and L1 tag array and
+classifies a whole run of records in bulk: records that hit both structures
+are accounted with vectorized sums, and only the first TLB or L1 miss (or
+pending-stall record) returns control to the per-record path.  Mirrors are
+maintained incrementally — the TLB bumps a version counter on membership
+changes and the L1 logs touched set indices — so hit bursts pay nothing to
+keep them fresh.
+
+Bit-identity: the simulator's only float accumulators are the core clock and
+the per-core cycle stats, all built by repeated ``+=``.  ``np.add.accumulate``
+performs the same left-to-right IEEE-754 double additions, so folding a run
+through it (compute cycles and L1 stall interleaved exactly as the scalar
+loop adds them) produces bit-identical values; integer counters are exact
+regardless of order.  LRU state is reconciled by replaying, for each distinct
+key touched in the run, one ``move_to_end`` at its *last* occurrence, in
+occurrence order — which leaves the recency order exactly as the per-record
+sequence of moves would have.
+
+The module needs numpy (declared as the ``repro[fast]`` extra); constructing
+:class:`VectorFrontEnd` without it raises with instructions rather than
+silently changing engine behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-less hosts
+    np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:
+    from repro.sim.batch import _CoreSource
+    from repro.sim.system import System
+
+#: Minimum classifiable run length: below this the per-record inline path is
+#: cheaper than slicing and classifying arrays.
+_MIN_RUN = 16
+
+#: Consecutive-failure backoff: after a short or missing hit prefix the
+#: filter disengages for this many attempts (one attempt per scalar stretch),
+#: so miss-dominated phases pay almost nothing for it.
+_BACKOFF = 32
+
+
+class VectorFrontEnd:
+    """Flat-array TLB/L1 membership mirrors plus bulk hit accounting."""
+
+    def __init__(self, system: "System") -> None:
+        if np is None:
+            raise RuntimeError(
+                "engine mode 'numpy' requires numpy; install it with "
+                "'pip install repro[fast]' or use the default 'batch' mode"
+            )
+        self._system = system
+        num_cores = system.config.num_cores
+        l1s = system.hierarchy.l1
+        self._tlb_keys: List[Any] = [None] * num_cores
+        self._tlb_versions: List[int] = [-1] * num_cores
+        self._l1_tags: List[Any] = [
+            np.full((l1.num_sets, l1.num_ways), -1, dtype=np.int64) for l1 in l1s
+        ]
+        self._l1_fresh = [False] * num_cores
+        self._logs: List[List[int]] = []
+        for l1 in l1s:
+            log: List[int] = []
+            l1._dirty_sets = log
+            self._logs.append(log)
+        # Per-core engagement confidence: <0 means backed off (one attempt
+        # per call restores it toward 0), >=0 means engaged.
+        self._confidence = [0] * num_cores
+
+    def detach(self) -> None:
+        """Remove the mirror logs installed on the L1 caches."""
+        for l1 in self._system.hierarchy.l1:
+            l1._dirty_sets = None
+
+    # ------------------------------------------------------------------ mirrors
+
+    def _refresh(self, core_id: int) -> None:
+        system = self._system
+        tlb = system.tlbs[core_id]
+        if self._tlb_versions[core_id] != tlb.version:
+            entries = tlb._entries
+            keys = np.fromiter(entries.keys(), dtype=np.int64, count=len(entries))
+            keys.sort()
+            self._tlb_keys[core_id] = keys
+            self._tlb_versions[core_id] = tlb.version
+        l1 = system.hierarchy.l1[core_id]
+        tags = self._l1_tags[core_id]
+        log = self._logs[core_id]
+        if not self._l1_fresh[core_id] or len(log) >= l1.num_sets:
+            tags.fill(-1)
+            for set_index, bucket in enumerate(l1._sets):
+                if bucket:
+                    row = tags[set_index]
+                    way = 0
+                    for line in bucket:
+                        row[way] = line
+                        way += 1
+            self._l1_fresh[core_id] = True
+        elif log:
+            sets = l1._sets
+            for set_index in sorted(set(log)):
+                row = tags[set_index]
+                row.fill(-1)
+                way = 0
+                for line in sets[set_index]:
+                    row[way] = line
+                    way += 1
+        del log[:]
+
+    # ------------------------------------------------------------------ bulk path
+
+    def try_bulk(
+        self,
+        core_id: int,
+        source: "_CoreSource",
+        cap: int,
+        b_clock: float,
+        b_core: int,
+    ) -> int:
+        """Bulk-execute the TLB+L1-hit prefix of the core's next ``cap`` records.
+
+        Returns the number of records accounted (possibly 0 when the first
+        record misses, a stall is pending, the run is too short to profit,
+        or the filter is backed off).  Stops at the interleave boundary
+        ``(b_clock, b_core)`` exactly where the per-record path would.
+        """
+        confidence = self._confidence[core_id]
+        if confidence < 0:
+            self._confidence[core_id] = confidence + 1
+            return 0
+        if cap < _MIN_RUN:
+            return 0
+        system = self._system
+        core = system.cores[core_id]
+        if core._pending_stall != 0.0:
+            return 0
+        tlb = system.tlbs[core_id]
+        l1 = system.hierarchy.l1[core_id]
+        pos = source.pos
+        addr0 = source.addrs[pos]
+        page_size = system.page_size
+        # Cheap scalar precheck: a leading miss costs two dict probes here
+        # instead of a full classification pass.
+        if source.addrs[pos] // page_size not in tlb._entries:
+            self._confidence[core_id] = -_BACKOFF
+            return 0
+        line0 = addr0 >> l1._line_bits
+        if line0 not in l1._sets[line0 & l1._set_mask]:
+            self._confidence[core_id] = -_BACKOFF
+            return 0
+        clock = core.clock
+        l1_stall = core._l1_stall
+        if b_clock != float("inf") and l1_stall > 0.0:
+            # Lower bound on per-record clock advance (compute >= 0 cycles
+            # plus the L1-hit stall) upper-bounds how many records can run
+            # before the boundary; never classify more than that.
+            bound = int((b_clock - clock) / l1_stall) + 2
+            if bound < cap:
+                cap = bound
+            if cap < _MIN_RUN:
+                return 0
+        if source.np_gaps is None:
+            source.np_gaps = np.asarray(source.gaps, dtype=np.int64)
+            source.np_addrs = np.asarray(source.addrs, dtype=np.int64)
+            source.np_writes = np.asarray(source.writes, dtype=bool)
+        self._refresh(core_id)
+
+        gaps = source.np_gaps[pos:pos + cap]
+        addrs = source.np_addrs[pos:pos + cap]
+        writes = source.np_writes[pos:pos + cap]
+        keys = self._tlb_keys[core_id]
+        vpns = addrs // page_size
+        positions = np.minimum(np.searchsorted(keys, vpns), len(keys) - 1)
+        tlb_hit = keys[positions] == vpns
+        lines = addrs >> l1._line_bits
+        tags = self._l1_tags[core_id]
+        l1_hit = (tags[lines & l1._set_mask] == lines[:, None]).any(axis=1)
+        ok = tlb_hit & l1_hit
+        hit_prefix = len(ok) if ok.all() else int(ok.argmin())
+        if hit_prefix == 0:
+            self._confidence[core_id] = -_BACKOFF
+            return 0
+
+        # Fold the run's clock advances in scalar order: += gap/issue_width
+        # then += l1_stall per record (np.add.accumulate is a sequential
+        # left fold, so every intermediate double is bit-identical).
+        compute = gaps[:hit_prefix] / core._issue_width
+        increments = np.empty(2 * hit_prefix + 1)
+        increments[0] = clock
+        increments[1::2] = compute
+        increments[2::2] = l1_stall
+        folded = np.add.accumulate(increments)
+        clock_after = folded[2::2]
+        if b_clock == float("inf"):
+            n_run = hit_prefix
+        else:
+            side = "right" if core_id < b_core else "left"
+            allowed = int(np.searchsorted(clock_after, b_clock, side=side)) + 1
+            n_run = hit_prefix if allowed >= hit_prefix else allowed
+        # Short prefixes are still applied (the work is already classified),
+        # but they disengage the filter for a while: a phase of short runs
+        # means classification costs more than it saves.
+        self._confidence[core_id] = -_BACKOFF if n_run < _MIN_RUN else 0
+
+        # ---- apply: timing ------------------------------------------------
+        core.clock = float(folded[2 * n_run])
+        stats = core.stats
+        stats.instructions += int(gaps[:n_run].sum())
+        stats.memory_accesses += n_run
+        fold_cc = np.empty(n_run + 1)
+        fold_cc[0] = stats.compute_cycles
+        fold_cc[1:] = compute[:n_run]
+        stats.compute_cycles = float(np.add.accumulate(fold_cc)[-1])
+        fold_ms = np.empty(n_run + 1)
+        fold_ms[0] = stats.memory_stall_cycles
+        fold_ms[1:] = l1_stall
+        stats.memory_stall_cycles = float(np.add.accumulate(fold_ms)[-1])
+
+        # ---- apply: hit counters and replacement state -------------------
+        tlb.hits += n_run
+        l1.hits += n_run
+        run_vpns = vpns[:n_run]
+        run_lines = lines[:n_run]
+        entries = tlb._entries
+        # One move_to_end per distinct key at its last occurrence, in
+        # occurrence order, reproduces the exact per-record recency order.
+        vals, first_rev = np.unique(run_vpns[::-1], return_index=True)
+        for vpn in vals[np.argsort(-first_rev)].tolist():
+            entries.move_to_end(vpn)
+        sets = l1._sets
+        set_mask = l1._set_mask
+        if l1._lru:
+            lvals, lfirst_rev = np.unique(run_lines[::-1], return_index=True)
+            for line in lvals[np.argsort(-lfirst_rev)].tolist():
+                sets[line & set_mask].move_to_end(line)
+        written = run_lines[writes[:n_run]]
+        if written.size:
+            for line in np.unique(written).tolist():
+                sets[line & set_mask][line] = True
+        source.pos = pos + n_run
+        return n_run

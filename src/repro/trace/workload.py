@@ -17,7 +17,7 @@ from typing import Dict, Iterator, Optional
 
 from repro.cpu.trace import TraceRecord
 from repro.trace.format import TraceReader
-from repro.workloads.base import Workload
+from repro.workloads.base import TraceBatch, Workload
 
 
 class TraceWorkload(Workload):
@@ -90,6 +90,10 @@ class TraceWorkload(Workload):
 
     def trace(self, core_id: int) -> Iterator[TraceRecord]:
         return self.reader.stream(core_id)
+
+    def trace_batches(self, core_id: int) -> Iterator[TraceBatch]:
+        """Chunked column replay: one bulk decode per stored chunk."""
+        return self.reader.stream_batches(core_id)
 
     def describe(self) -> Dict[str, object]:
         info = super().describe()

@@ -18,10 +18,19 @@ from __future__ import annotations
 
 import zlib
 from abc import ABC, abstractmethod
-from typing import Dict, Iterator, Optional
+from itertools import islice
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.cpu.trace import TraceRecord
 from repro.util.rng import DeterministicRng
+
+#: Records per column batch produced by :meth:`Workload.trace_batches`.
+#: Large enough to amortise per-batch overhead, small enough that a batch
+#: of three Python lists stays cache- and memory-friendly.
+BATCH_RECORDS = 4096
+
+#: One column batch: parallel ``(gaps, addrs, writes)`` lists of equal length.
+TraceBatch = Tuple[List[int], List[int], List[bool]]
 
 
 class Workload(ABC):
@@ -52,6 +61,38 @@ class Workload(ABC):
     @abstractmethod
     def trace(self, core_id: int) -> Iterator[TraceRecord]:
         """Yield the trace records for ``core_id``."""
+
+    def trace_batches(self, core_id: int) -> Iterator[TraceBatch]:
+        """Yield ``core_id``'s records as flat ``(gaps, addrs, writes)`` columns.
+
+        The batch engine consumes columns instead of per-record objects; the
+        concatenation of the yielded columns must replay *exactly* the record
+        sequence :meth:`trace` yields (same order, same values, ending at the
+        same record).  Batches may be any positive length; only the final
+        batch may be shorter than its predecessors.
+
+        This default shim adapts any legacy :meth:`trace` iterator, so every
+        workload keeps working with the batch engine; generators and trace
+        replays override it to fill columns directly without constructing
+        per-record objects.
+        """
+        iterator = self.trace(core_id)
+        while True:
+            gaps: List[int] = []
+            addrs: List[int] = []
+            writes: List[bool] = []
+            append_gap = gaps.append
+            append_addr = addrs.append
+            append_write = writes.append
+            for gap, addr, is_write in islice(iterator, BATCH_RECORDS):
+                append_gap(gap)
+                append_addr(addr)
+                append_write(is_write)
+            if not gaps:
+                return
+            yield gaps, addrs, writes
+            if len(gaps) < BATCH_RECORDS:
+                return
 
     @property
     def max_records_per_core(self) -> Optional[int]:

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.cpu.trace import TraceRecord
 from repro.sim.config import CACHELINE_SIZE, MB
-from repro.workloads.base import Workload
+from repro.workloads.base import BATCH_RECORDS, TraceBatch, Workload
 
 _WORD = 8
 
@@ -162,6 +162,104 @@ class GraphWorkload(Workload):
             for _ in range(self.writes_per_vertex):
                 # Update this vertex's state.
                 yield TraceRecord(gap, self.vertex_b_base + vertex * _WORD, True)
+
+    def trace_batches(self, core_id: int) -> Iterator[TraceBatch]:
+        """Native column batches: the exact record stream of :meth:`trace`.
+
+        Builds whole chunks of the per-vertex record pattern
+        ``[row-pointer read][edge read, neighbour read(s)]*degree[write]*W``
+        with vectorized numpy scatter-assignments instead of constructing one
+        :class:`TraceRecord` per access — the per-record cost the batch
+        engine exists to avoid.  The RNG draw schedule is replicated exactly
+        (the same pool draws at the same vertices, the same permutation per
+        random-order sweep), so the stream is record-for-record identical to
+        :meth:`trace`; the property tests pin this.
+
+        Chunks are cut at vertex boundaries (so they can run slightly past
+        ``BATCH_RECORDS``), at pool-refill points and at sweep ends;
+        consumers accept any chunk sizes.
+        """
+        self._build_graph()
+        rng = self.rng_for_core(core_id).generator
+        gap = max(1, int(self.mean_gap))
+        reads = self.neighbor_reads_per_edge
+        writes_per_vertex = self.writes_per_vertex
+        rec_per_edge = 1 + reads
+        degrees = self._degrees
+        offsets = self._offsets
+        vertex_range = self._vertex_range(core_id)
+        sweep_base = vertex_range[0]
+        sweep_len = len(vertex_range)
+        sequential = self.vertex_order == "sequential"
+        # trace() draws the initial pool before the first vertex.
+        pool = self._vertex_targets(rng, 4096)
+        pool_index = 0
+        sequential_verts = np.arange(sweep_base, sweep_base + sweep_len, dtype=np.int64)
+        while True:
+            # One sweep over this core's vertex slice, mirroring _vertex_iter
+            # (the permutation draw happens at the same point in the RNG
+            # stream as the generator's).
+            if sequential:
+                verts_sweep = sequential_verts
+            else:
+                verts_sweep = sweep_base + rng.permutation(sweep_len).astype(np.int64)
+            d_sweep = degrees[verts_sweep]
+            needed_sweep = d_sweep * reads
+            records_sweep = 1 + d_sweep * rec_per_edge + writes_per_vertex
+            cum_needed = np.concatenate(([0], np.cumsum(needed_sweep)))
+            cum_records = np.concatenate(([0], np.cumsum(records_sweep)))
+            position = 0
+            while position < sweep_len:
+                # Vertices that fit the remaining pool (trace() refills when
+                # a vertex's draws would run past the pool end).
+                fit = int(np.searchsorted(
+                    cum_needed, cum_needed[position] + (len(pool) - pool_index), side="right"
+                )) - 1 - position
+                if fit <= 0:
+                    needed = int(needed_sweep[position])
+                    pool = self._vertex_targets(rng, max(4096, needed))
+                    pool_index = 0
+                    continue
+                # Cap the chunk at the vertex that crosses BATCH_RECORDS.
+                count = int(np.searchsorted(
+                    cum_records, cum_records[position] + BATCH_RECORDS, side="left"
+                )) - position
+                if count < 1:
+                    count = 1
+                if count > fit:
+                    count = fit
+                verts = verts_sweep[position:position + count]
+                d = d_sweep[position:position + count]
+                total = int(cum_records[position + count] - cum_records[position])
+                starts = cum_records[position:position + count] - cum_records[position]
+                edge_cum = np.concatenate(([0], np.cumsum(d)))
+                num_edges = int(edge_cum[-1])
+                addr = np.empty(total, dtype=np.int64)
+                flag = np.zeros(total, dtype=bool)
+                # Row-pointer reads, one per vertex.
+                addr[starts] = self.offsets_base + verts * _WORD
+                if num_edges:
+                    vertex_of_edge = np.repeat(np.arange(count), d)
+                    edge_rank = np.arange(num_edges) - edge_cum[vertex_of_edge]
+                    pos_edge = starts[vertex_of_edge] + 1 + edge_rank * rec_per_edge
+                    edge_index = offsets[verts][vertex_of_edge] + edge_rank
+                    addr[pos_edge] = self.edges_base + edge_index * _WORD
+                    if reads:
+                        draws = pool[pool_index:pool_index + num_edges * reads]
+                        neighbors = draws.reshape(num_edges, reads)
+                        for read in range(reads):
+                            addr[pos_edge + 1 + read] = (
+                                self.vertex_a_base + neighbors[:, read] * _WORD
+                            )
+                        pool_index += num_edges * reads
+                if writes_per_vertex:
+                    write_starts = starts + 1 + d * rec_per_edge
+                    write_addr = self.vertex_b_base + verts * _WORD
+                    for write in range(writes_per_vertex):
+                        addr[write_starts + write] = write_addr
+                        flag[write_starts + write] = True
+                position += count
+                yield [gap] * total, addr.tolist(), flag.tolist()
 
 
 class PageRankWorkload(GraphWorkload):

@@ -14,7 +14,7 @@ from typing import Dict, Iterator, List, Sequence
 
 from repro.cpu.trace import TraceRecord
 from repro.sim.config import GB
-from repro.workloads.base import Workload
+from repro.workloads.base import TraceBatch, Workload
 from repro.workloads.spec import SpecWorkload
 
 #: The benchmark lists of Table 4 ("gems" stands in for GemsFDTD,
@@ -51,6 +51,13 @@ class MixWorkload(Workload):
             raise ValueError("core_id out of range")
         member = self._members[core_id]
         return member.trace(0, base=core_id * GB)
+
+    def trace_batches(self, core_id: int) -> Iterator[TraceBatch]:
+        """Column batches from the member generator (same slice as trace)."""
+        if not 0 <= core_id < self.num_cores:
+            raise ValueError("core_id out of range")
+        member = self._members[core_id]
+        return member.trace_batches(0, base=core_id * GB)
 
     def describe(self) -> Dict[str, object]:
         info = super().describe()

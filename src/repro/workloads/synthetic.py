@@ -28,7 +28,7 @@ import numpy as np
 from repro.cpu.trace import TraceRecord
 from repro.sim.config import CACHELINE_SIZE
 from repro.util.rng import DeterministicRng
-from repro.workloads.base import Workload
+from repro.workloads.base import TraceBatch, Workload
 
 _CHUNK = 4096
 
@@ -160,7 +160,14 @@ class SyntheticWorkload(Workload):
         """Base address of ``core_id``'s address-space slice (0 = shared space)."""
         return 0
 
-    def trace(self, core_id: int, base: Optional[int] = None) -> Iterator[TraceRecord]:
+    def _column_chunks(self, core_id: int, base: Optional[int] = None) -> Iterator[TraceBatch]:
+        """Generate ``(gaps, addrs, writes)`` column chunks for one core.
+
+        Both :meth:`trace` and :meth:`trace_batches` draw from this generator,
+        and the RNG call sequence is exactly the pre-batch ``trace`` loop's,
+        so record streams are bit-identical across engine modes and across
+        releases.
+        """
         rng = self.rng_for_core(core_id).generator
         region_base = base if base is not None else self.core_base(core_id)
         patterns = [(weight, factory(region_base)) for weight, factory in self.pattern_factories]
@@ -176,8 +183,15 @@ class SyntheticWorkload(Workload):
             rng.shuffle(addrs)
             gaps = rng.geometric(1.0 / self.mean_gap, size=len(addrs))
             writes = rng.random(len(addrs)) < self.write_fraction
-            for addr, gap, is_write in zip(addrs.tolist(), gaps.tolist(), writes.tolist()):
-                yield TraceRecord(int(gap), int(addr), bool(is_write))
+            yield gaps.tolist(), addrs.tolist(), writes.tolist()
+
+    def trace(self, core_id: int, base: Optional[int] = None) -> Iterator[TraceRecord]:
+        for gaps, addrs, writes in self._column_chunks(core_id, base):
+            yield from map(TraceRecord, gaps, addrs, writes)
+
+    def trace_batches(self, core_id: int, base: Optional[int] = None) -> Iterator[TraceBatch]:
+        """Column batches straight from the generator (no record objects)."""
+        return self._column_chunks(core_id, base)
 
 
 #: A callable returning a fresh AccessPattern (typing alias for readability).

@@ -38,3 +38,14 @@ def test_accepts_warmup_boundaries():
     assert zero.instructions > 0
     almost_all = make_engine().run(120, warmup_records_per_core=119)
     assert almost_all.cycles > 0
+
+
+def test_rejects_unknown_engine_mode():
+    config = SystemConfig.tiny()
+    workload = get_workload("gcc", config.num_cores, scale=0.05)
+    with pytest.raises(ValueError, match="engine mode"):
+        SimulationEngine(System(config, workload), mode="warp")
+
+
+def test_default_engine_mode_is_batch():
+    assert make_engine().mode == "batch"

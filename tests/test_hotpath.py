@@ -16,13 +16,25 @@ import pytest
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.cache.sram_cache import SramCache
+from repro.dramcache.variants import available_scheme_names
 from repro.sim.config import SystemConfig
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import ENGINE_MODES, SimulationEngine
 from repro.sim.system import System
 from repro.util.rng import DeterministicRng
 from repro.workloads.registry import get_workload
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_hotpath.json")
+
+try:
+    import numpy  # noqa: F401
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+#: Engine modes testable on this host (the numpy front end needs numpy).
+TESTABLE_MODES = [
+    mode for mode in ENGINE_MODES if mode != "numpy" or HAVE_NUMPY
+]
 
 
 def make_engine(scheme="banshee", workload="gcc", num_cores=2, scale=0.05, seed=1):
@@ -153,15 +165,17 @@ def load_goldens():
         return json.load(fh)["cells"]
 
 
+@pytest.mark.parametrize("mode", TESTABLE_MODES)
 @pytest.mark.parametrize(
     "cell", load_goldens(), ids=lambda cell: f"{cell['scheme']}-{cell['workload']}"
 )
-def test_fast_path_matches_pre_refactor_goldens(cell):
-    """Results must stay bit-identical to the pre-refactor implementation.
+def test_fast_path_matches_pre_refactor_goldens(cell, mode):
+    """Every engine mode must stay bit-identical to the original pipeline.
 
     The goldens were captured from the original allocating pipeline (before
     the allocation-free fast path landed); JSON round-trip on both sides
-    makes float comparison exact (shortest-round-trip formatting).
+    makes float comparison exact (shortest-round-trip formatting).  The
+    scalar, batch and numpy engines all replay the same golden cells.
     """
     config = SystemConfig.scaled_default(
         scheme=cell["scheme"], num_cores=cell["num_cores"], seed=cell["seed"]
@@ -169,5 +183,47 @@ def test_fast_path_matches_pre_refactor_goldens(cell):
     workload = get_workload(
         cell["workload"], cell["num_cores"], scale=cell["scale"], seed=cell["seed"]
     )
-    result = SimulationEngine(System(config, workload)).run(cell["records_per_core"])
+    result = SimulationEngine(System(config, workload), mode=mode).run(cell["records_per_core"])
     assert json.loads(json.dumps(result.identity_dict())) == cell["result"]
+
+
+# ------------------------------------------------------ cross-mode bit-identity
+
+
+def _identity(scheme, mode, workload="gcc", num_cores=2, records=600, warmup=150):
+    config = SystemConfig.scaled_default(scheme=scheme, num_cores=num_cores, seed=4)
+    engine = SimulationEngine(
+        System(config, get_workload(workload, num_cores, scale=0.02, seed=4)), mode=mode
+    )
+    return engine.run(records, warmup_records_per_core=warmup).identity_dict()
+
+
+@pytest.mark.parametrize("scheme", available_scheme_names())
+def test_batch_engine_matches_scalar_for_every_variant(scheme):
+    """Batch and scalar must agree exactly for every registered variant.
+
+    Variants flip replacement policies, page sizes, sampling rates and OS
+    hooks — the machinery most likely to disagree with the batch engine's
+    inlined hit path and run-length scheduling.  Warmup is included so run
+    cuts at the warmup edge are exercised too.
+    """
+    assert _identity(scheme, "batch") == _identity(scheme, "scalar")
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy engine mode requires numpy")
+@pytest.mark.parametrize("scheme", ["banshee", "nocache", "hma"])
+def test_numpy_engine_matches_scalar(scheme):
+    """The vectorized front end must not change a single result bit."""
+    assert _identity(scheme, "numpy", workload="pagerank", num_cores=1) == \
+        _identity(scheme, "scalar", workload="pagerank", num_cores=1)
+
+
+def test_single_core_scalar_fast_path_matches_multicore_semantics():
+    """The heap-free single-core scalar loop is bit-identical per core.
+
+    One core simulated alone must produce the same identity results whether
+    the scheduler uses the heap or the dedicated single-core loop; compare
+    against the batch engine, which schedules without a heap by design.
+    """
+    assert _identity("banshee", "scalar", workload="pagerank", num_cores=1) == \
+        _identity("banshee", "batch", workload="pagerank", num_cores=1)

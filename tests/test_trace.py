@@ -558,3 +558,45 @@ def test_capture_stats_match_summarize_streams(tmp_path):
     # Graph state is shared: the union footprint is smaller than the sum.
     assert combined.unique_pages < sum(stats.unique_pages for stats in per_core)
     assert [stats["records"] for stats in meta.core_stats] == [200, 200]
+
+
+def test_stream_batches_round_trips_capture(tmp_path):
+    """Column batches must replay the stored streams exactly, per chunk.
+
+    Both the raw and the compressed layout go through the same one-shot
+    struct decode; concatenated columns must equal the per-record stream.
+    """
+    for compress in (False, True):
+        path, _ = capture(tmp_path, records=300, compress=compress,
+                          filename=f"cols-{compress}.rtrace")
+        reader = TraceReader(path)
+        for core_id in range(reader.num_cores):
+            expected = [(r.gap, r.addr, r.is_write) for r in reader.stream(core_id)]
+            got = []
+            for gaps, addrs, writes in reader.stream_batches(core_id):
+                assert len(gaps) == len(addrs) == len(writes) > 0
+                got.extend(zip(gaps, addrs, writes))
+            assert got == expected
+
+
+def test_trace_workload_batches_match_trace(tmp_path):
+    """TraceWorkload.trace_batches replays exactly its trace() stream."""
+    path, _ = capture(tmp_path, records=250)
+    workload = TraceWorkload(path)
+    for core_id in range(workload.num_cores):
+        expected = [(r.gap, r.addr, r.is_write) for r in workload.trace(core_id)]
+        got = []
+        for gaps, addrs, writes in workload.trace_batches(core_id):
+            got.extend(zip(gaps, addrs, writes))
+        assert got == expected
+
+
+def test_batch_engine_replays_trace_workload(tmp_path):
+    """A captured trace replayed through the batch engine matches scalar."""
+    path, _ = capture(tmp_path, records=400)
+    results = {}
+    for mode in ("scalar", "batch"):
+        config = SystemConfig.scaled_default(scheme="banshee", num_cores=2)
+        engine = SimulationEngine(System(config, TraceWorkload(path)), mode=mode)
+        results[mode] = engine.run(400, warmup_records_per_core=100).identity_dict()
+    assert results["batch"] == results["scalar"]

@@ -195,3 +195,77 @@ def test_pointer_chase_covers_region():
     rng = DeterministicRng(1).generator
     addrs = pattern.addresses(rng, 2000)
     assert len(set(addr // 4096 for addr in addrs)) > 100
+
+
+# ------------------------------------------------------------- column batches
+
+
+def batch_records(workload, core_id, count):
+    """First ``count`` records of the column-batch stream, as tuples."""
+    records = []
+    for gaps, addrs, writes in workload.trace_batches(core_id):
+        records.extend(zip(gaps, addrs, writes))
+        if len(records) >= count:
+            break
+    return records[:count]
+
+
+@pytest.mark.parametrize("name", [
+    "gcc",        # SPEC generator (default per-record shim)
+    "mcf",
+    "pagerank",   # graph generators (native vectorized batches)
+    "tri_count",
+    "graph500",   # random vertex order: permutation draws must line up
+    "sgd",
+    "lsh",
+    "mix1",       # mix: per-member page-size plumbing
+])
+def test_trace_batches_replays_trace_exactly(name):
+    """trace_batches must yield exactly the records trace() yields, in order.
+
+    This is the contract the whole batch engine rests on: the default shim,
+    the native synthetic/graph column builders and the mix wrapper all
+    promise the identical stream (gaps, addresses, write flags) — only the
+    container changes.
+    """
+    count = 6000
+    for cores in (1, 2):
+        source = get_workload(name, cores, scale=0.02, seed=5)
+        batched = get_workload(name, cores, scale=0.02, seed=5)
+        for core_id in range(cores):
+            expected = [(r.gap, r.addr, r.is_write) for r in take(source, core_id, count)]
+            got = [(g, a, bool(w)) for g, a, w in batch_records(batched, core_id, count)]
+            assert got == expected, f"{name} core {core_id} diverged"
+
+
+def test_trace_batches_chunks_are_column_aligned():
+    """Each chunk's three columns must agree in length and be non-empty."""
+    workload = get_workload("pagerank", 1, scale=0.01, seed=2)
+    seen = 0
+    for gaps, addrs, writes in workload.trace_batches(0):
+        assert len(gaps) == len(addrs) == len(writes) > 0
+        seen += len(gaps)
+        if seen > 20000:
+            break
+    assert seen > 20000
+
+
+def test_trace_batches_default_shim_handles_finite_streams():
+    """The base-class shim must flush a final partial batch, then stop."""
+
+    from repro.cpu.trace import TraceRecord
+    from repro.workloads.base import BATCH_RECORDS, Workload
+
+    class Finite(Workload):
+        def __init__(self, n):
+            super().__init__("finite", 1, footprint_bytes=4096)
+            self.n = n
+
+        def trace(self, core_id):
+            for i in range(self.n):
+                yield TraceRecord(1, i * 64, False)
+
+    n = BATCH_RECORDS + 7
+    chunks = list(Finite(n).trace_batches(0))
+    assert [len(gaps) for gaps, _, _ in chunks] == [BATCH_RECORDS, 7]
+    assert sum(len(gaps) for gaps, _, _ in chunks) == n
