@@ -37,6 +37,15 @@ class AnalyzerConfig:
         "TagBufferCoherence.flush",
         # HMA's epoch remap: runs once per hma_interval_ms of simulated time.
         "HmaCache._remap",
+        # Controller edges: every loop guards these behind
+        # ``processed >= ctrl_next`` (the controller's own requested cut),
+        # so snapshot capture, watch flushes and inspector mailbox work run
+        # at run cuts, never per record.
+        "_edge_single",
+        "_edge_from_remaining",
+        "_edge",
+        "_controller_stop",
+        "on_finish",
     )
 
     #: Classes that must declare ``__slots__``: the per-access objects the

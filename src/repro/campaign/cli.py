@@ -31,7 +31,7 @@ from repro.campaign.store import ResultStore
 from repro.dramcache.variants import available_scheme_names, describe_variants
 from repro.experiments.report import format_table
 from repro.obs.events import ObsSink, read_events
-from repro.obs.heartbeat import is_stale, read_heartbeats
+from repro.obs.heartbeat import STALE_AFTER_SECONDS, is_stale, read_heartbeats
 
 
 def _optional_int(text: str) -> Optional[int]:
@@ -93,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--timeline", type=int, metavar="N",
                             help="attach an interval timeline snapshotting every N records "
                                  "(stored with each result; see python -m repro.obs)")
+    run_parser.add_argument("--timeline-bounds", nargs="+", type=float, metavar="CYCLES",
+                            help="latency-histogram bucket edges for --timeline "
+                                 "(strictly increasing cycle counts)")
+    run_parser.add_argument("--checkpoint-warmup", action="store_true",
+                            help="share warm engine states across cells: snapshot the "
+                                 "warmup edge under <store>/obs/checkpoints and restore "
+                                 "it for cells sharing (config, workload, warmup)")
     run_parser.add_argument("--no-obs", action="store_true",
                             help="disable the event log / heartbeats under <store>/obs")
 
@@ -103,6 +110,10 @@ def build_parser() -> argparse.ArgumentParser:
                                help="show in-flight cells from <store>/obs heartbeats and events")
     status_parser.add_argument("--poll", type=float, default=0.0, metavar="SECONDS",
                                help="with --live: refresh every SECONDS until the campaign ends")
+    status_parser.add_argument("--stale-after", type=float, default=None, metavar="SECONDS",
+                               help="with --live: heartbeats older than SECONDS count as "
+                                    "stale (default %.0f); stale workers are listed by id"
+                                    % STALE_AFTER_SECONDS)
 
     export_parser = sub.add_parser("export", help="dump a store as CSV or JSON")
     export_parser.add_argument("--store", required=True)
@@ -141,6 +152,7 @@ def spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         "scale": args.scale,
         "warmup_fraction": args.warmup,
         "timeline_interval": getattr(args, "timeline", None),
+        "timeline_bounds": getattr(args, "timeline_bounds", None),
     }
     for name, value in spec_fields.items():
         if value is not None:
@@ -223,7 +235,8 @@ def cmd_run(args: argparse.Namespace, stream: TextIO) -> int:
         print(f"obs: {obs.events_path} (watch with: status --store {args.store} --live)",
               file=stream)
     report = run_campaign(spec, store=store, workers=args.workers, progress=progress,
-                          force=args.force, obs=obs)
+                          force=args.force, obs=obs,
+                          checkpoint_warmup=args.checkpoint_warmup)
     counts = report.counts()
     print(file=stream)
     print(_report_table(report), file=stream)
@@ -238,8 +251,10 @@ def cmd_run(args: argparse.Namespace, stream: TextIO) -> int:
     return 1 if report.errors else 0
 
 
-def _print_live(obs_dir: Path, stream: TextIO) -> bool:
+def _print_live(obs_dir: Path, stream: TextIO,
+                stale_after: Optional[float] = None) -> bool:
     """One live telemetry snapshot from heartbeats + events; True once ended."""
+    stale_after = STALE_AFTER_SECONDS if stale_after is None else stale_after
     events_path = obs_dir / "events.jsonl"
     records = read_events(events_path) if events_path.exists() else []
     last_start = -1
@@ -262,7 +277,8 @@ def _print_live(obs_dir: Path, stream: TextIO) -> bool:
 
     beats = read_heartbeats(obs_dir / "heartbeats")
     now = time.time()
-    live = [beat for beat in beats if not is_stale(beat, now=now)]
+    live = [beat for beat in beats if not is_stale(beat, now=now, stale_after=stale_after)]
+    stale = [beat for beat in beats if is_stale(beat, now=now, stale_after=stale_after)]
 
     stamp = time.strftime("%H:%M:%S", time.localtime(now))
     if campaign is not None:
@@ -289,7 +305,11 @@ def _print_live(obs_dir: Path, stream: TextIO) -> bool:
         print(format_table(["worker", "state", "in-flight cell", "done", "up"], rows),
               file=stream)
     elif not ended:
-        print(f"no live workers ({len(beats)} stale heartbeat(s))", file=stream)
+        print("no live workers", file=stream)
+    if stale and not ended:
+        names = ", ".join(sorted(str(beat.get("worker", "?")) for beat in stale))
+        print(f"stale workers (no heartbeat in >{stale_after:.0f}s): {names}",
+              file=stream)
     return ended
 
 
@@ -298,7 +318,7 @@ def cmd_status(args: argparse.Namespace, stream: TextIO) -> int:
     if args.live:
         obs_dir = Path(args.store) / "obs"
         while True:
-            ended = _print_live(obs_dir, stream)
+            ended = _print_live(obs_dir, stream, stale_after=args.stale_after)
             if ended or not args.poll:
                 return 0
             time.sleep(args.poll)

@@ -11,6 +11,7 @@ happened to share.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.campaign.executor import (
@@ -86,6 +87,7 @@ def run_campaign(
     progress: Optional[ProgressFn] = None,
     force: bool = False,
     obs: Optional["ObsSink"] = None,
+    checkpoint_warmup: bool = False,
 ) -> CampaignReport:
     """Run (or resume) a campaign.
 
@@ -101,6 +103,12 @@ def run_campaign(
         obs: optional :class:`~repro.obs.events.ObsSink`; campaign/cell/run
             events land in its JSONL log and workers heartbeat into its
             directory (what ``status --live`` tails).
+        checkpoint_warmup: share warm engine states across cells via
+            ``<store>/obs/checkpoints`` — the first cell with a given
+            (config, workload, warmup) snapshots the warmup edge, later
+            cells (and later campaigns against the same store) restore it
+            and simulate only the measured portion.  Bit-identical results;
+            requires a ``store``; cells with a timeline attached bypass it.
 
     Cells that expand to the same content key (an axis value equal to the
     preset default, or overlapping grids) are simulated once; the extra
@@ -134,6 +142,9 @@ def run_campaign(
             pending.append(index)
 
     executor = ParallelExecutor(workers) if workers > 1 else SerialExecutor()
+    checkpoint_dir = None
+    if checkpoint_warmup and store is not None:
+        checkpoint_dir = str(Path(store.directory) / "obs" / "checkpoints")
     events = obs.event_log() if obs is not None else None
     if events is not None:
         events.emit(
@@ -159,7 +170,8 @@ def run_campaign(
         if progress is not None:
             progress(done, total, outcome)
 
-    executed = executor.run([cells[i] for i in pending], progress=on_progress, obs=obs)
+    executed = executor.run([cells[i] for i in pending], progress=on_progress, obs=obs,
+                            checkpoint_dir=checkpoint_dir)
     if len(executed) != len(pending):
         raise RuntimeError(
             f"executor returned {len(executed)} outcomes for {len(pending)} cells"

@@ -61,6 +61,7 @@ def execute_cell(
     obs: Optional[ObsSink] = None,
     worker: Optional[str] = None,
     heartbeat: Optional[HeartbeatWriter] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> CellOutcome:
     """Run one cell, capturing any exception as an error outcome.
 
@@ -68,6 +69,10 @@ def execute_cell(
     per-process writer, liveness updates) to the campaign's sink; all four
     of cell start/finish/error and heartbeats are emitted here so the
     serial and parallel paths produce the same event stream shape.
+    ``checkpoint_dir`` enables shared warmup checkpoints (see
+    :func:`repro.experiments.runner.run_simulation`); concurrent workers
+    writing the same checkpoint are safe — snapshot saves are atomic and
+    the content is identical.
     """
     start = time.perf_counter()
     key = cell.key()
@@ -93,7 +98,9 @@ def execute_cell(
             page_size=cell.page_size,
             warmup_fraction=cell.warmup_fraction,
             timeline_interval=cell.timeline_interval,
+            timeline_bounds=cell.timeline_bounds,
             events=events,
+            checkpoint_dir=checkpoint_dir,
         )
         wall = time.perf_counter() - start
         if heartbeat is not None:
@@ -124,15 +131,16 @@ _WORKER_HEARTBEAT = None
 
 
 def _worker(
-    payload: Tuple[int, CampaignCell, Optional[ObsSink]]
+    payload: Tuple[int, CampaignCell, Optional[ObsSink], Optional[str]]
 ) -> Tuple[int, str, Optional[dict], Optional[str], float]:
     """Pool worker: returns the result as a plain dict so transport is explicit."""
     global _WORKER_HEARTBEAT
-    index, cell, obs = payload
+    index, cell, obs, checkpoint_dir = payload
     worker = f"worker-{os.getpid()}"
     if obs is not None and _WORKER_HEARTBEAT is None:
         _WORKER_HEARTBEAT = obs.heartbeat_writer(worker)
-    outcome = execute_cell(cell, obs=obs, worker=worker, heartbeat=_WORKER_HEARTBEAT)
+    outcome = execute_cell(cell, obs=obs, worker=worker, heartbeat=_WORKER_HEARTBEAT,
+                           checkpoint_dir=checkpoint_dir)
     result_dict = outcome.result.to_dict() if outcome.result is not None else None
     return (index, outcome.key, result_dict, outcome.error, outcome.wall_seconds)
 
@@ -145,11 +153,13 @@ class SerialExecutor:
         cells: Sequence[CampaignCell],
         progress: Optional[ProgressFn] = None,
         obs: Optional[ObsSink] = None,
+        checkpoint_dir: Optional[str] = None,
     ) -> List[CellOutcome]:
         heartbeat = obs.heartbeat_writer("serial") if obs is not None else None
         outcomes: List[CellOutcome] = []
         for index, cell in enumerate(cells):
-            outcome = execute_cell(cell, obs=obs, worker="serial", heartbeat=heartbeat)
+            outcome = execute_cell(cell, obs=obs, worker="serial", heartbeat=heartbeat,
+                                   checkpoint_dir=checkpoint_dir)
             outcomes.append(outcome)
             if progress is not None:
                 progress(index + 1, len(cells), outcome)
@@ -176,12 +186,13 @@ class ParallelExecutor:
         cells: Sequence[CampaignCell],
         progress: Optional[ProgressFn] = None,
         obs: Optional[ObsSink] = None,
+        checkpoint_dir: Optional[str] = None,
     ) -> List[CellOutcome]:
         if not cells:
             return []
         context = multiprocessing.get_context(self.mp_start_method)
         outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
-        payloads = [(index, cell, obs) for index, cell in enumerate(cells)]
+        payloads = [(index, cell, obs, checkpoint_dir) for index, cell in enumerate(cells)]
         done = 0
         with context.Pool(processes=self.workers) as pool:
             for index, key, result_dict, error, wall in pool.imap_unordered(_worker, payloads, chunksize=1):

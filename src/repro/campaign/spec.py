@@ -140,6 +140,8 @@ class CampaignCell:
     page_size: Optional[int] = None
     #: Snapshot interval (records) for the obs timeline; None disables it.
     timeline_interval: Optional[int] = None
+    #: Latency-histogram bucket edges for the timeline; None keeps defaults.
+    timeline_bounds: Optional[Tuple[float, ...]] = None
 
     def key(self) -> str:
         """Content-hashed store key (see :func:`simulation_cell_key`)."""
@@ -152,6 +154,7 @@ class CampaignCell:
             self.warmup_fraction,
             self.page_size,
             self.timeline_interval,
+            self.timeline_bounds,
         )
 
     def describe(self) -> str:
@@ -173,6 +176,7 @@ class CampaignCell:
             self.page_size,
             label=self.label,
             timeline_interval=self.timeline_interval,
+            timeline_bounds=self.timeline_bounds,
         )
 
 
@@ -190,6 +194,8 @@ class CampaignSpec:
     preset: str = "tiny"
     #: Attach a timeline observer snapshotting every N records (None = off).
     timeline_interval: Optional[int] = None
+    #: Timeline latency-histogram bucket edges (None keeps the defaults).
+    timeline_bounds: Optional[List[float]] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -200,6 +206,13 @@ class CampaignSpec:
             raise ValueError("records_per_core must be positive")
         if self.timeline_interval is not None and self.timeline_interval <= 0:
             raise ValueError("timeline_interval must be positive (or None to disable)")
+        if self.timeline_bounds is not None:
+            if self.timeline_interval is None:
+                raise ValueError("timeline_bounds requires timeline_interval")
+            bounds = [float(bound) for bound in self.timeline_bounds]
+            if not bounds or bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+                raise ValueError("timeline_bounds must be strictly increasing and non-empty")
+            self.timeline_bounds = bounds
         if not 0.0 <= self.warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
         if not self.grids:
@@ -260,6 +273,8 @@ class CampaignSpec:
                         warmup_fraction=self.warmup_fraction,
                         config=config,
                         timeline_interval=self.timeline_interval,
+                        timeline_bounds=(tuple(self.timeline_bounds)
+                                         if self.timeline_bounds is not None else None),
                     )
                 )
         return expanded
@@ -280,6 +295,7 @@ class CampaignSpec:
             "num_cores": self.num_cores,
             "preset": self.preset,
             "timeline_interval": self.timeline_interval,
+            "timeline_bounds": self.timeline_bounds,
         }
 
     @classmethod

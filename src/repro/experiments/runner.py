@@ -18,10 +18,10 @@ from __future__ import annotations
 
 import hashlib
 import os
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.sim.config import SystemConfig, canonical_json, config_hash
-from repro.sim.engine import SimulationEngine
+from repro.sim.engine import RunController, SimulationEngine
 from repro.sim.results import SimulationResults
 from repro.sim.system import System
 from repro.workloads.base import Workload
@@ -70,6 +70,7 @@ def simulation_cell_key(
     warmup_fraction: float,
     page_size: Optional[int] = None,
     timeline_interval: Optional[int] = None,
+    timeline_bounds: Optional[Sequence[float]] = None,
 ) -> str:
     """Content-hashed identity of one simulation cell.
 
@@ -80,8 +81,9 @@ def simulation_cell_key(
     across processes and interpreter runs, which is what makes the campaign
     result store resumable.
 
-    ``timeline_interval`` does not change simulation outcomes, but it does
-    change the stored *payload* (a cell run with an observer carries its
+    ``timeline_interval`` (and ``timeline_bounds``, the latency histogram
+    bucket edges) does not change simulation outcomes, but it does change
+    the stored *payload* (a cell run with an observer carries its
     timeline), so it participates in the key — only when set, keeping every
     pre-existing store key valid.
     """
@@ -97,6 +99,8 @@ def simulation_cell_key(
     }
     if timeline_interval is not None:
         fields["timeline_interval"] = timeline_interval
+    if timeline_bounds is not None:
+        fields["timeline_bounds"] = [float(bound) for bound in timeline_bounds]
     payload = canonical_json(fields)
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
@@ -111,6 +115,7 @@ def simulation_cell_meta(
     page_size: Optional[int] = None,
     label: Optional[str] = None,
     timeline_interval: Optional[int] = None,
+    timeline_bounds: Optional[Sequence[float]] = None,
 ) -> Dict[str, object]:
     """The sweep coordinates stored next to a result (store ``meta`` field).
 
@@ -120,7 +125,11 @@ def simulation_cell_meta(
     write-through cache (which falls back to the scheme name).
     """
     dram_cache = config.dram_cache
-    meta = {} if timeline_interval is None else {"timeline_interval": timeline_interval}
+    meta: Dict[str, object] = {}
+    if timeline_interval is not None:
+        meta["timeline_interval"] = timeline_interval
+    if timeline_bounds is not None:
+        meta["timeline_bounds"] = [float(bound) for bound in timeline_bounds]
     return {
         **meta,
         "label": label if label is not None else dram_cache.scheme,
@@ -163,10 +172,11 @@ class ResultCache:
         warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
         page_size: Optional[int] = None,
         timeline_interval: Optional[int] = None,
+        timeline_bounds: Optional[Sequence[float]] = None,
     ) -> str:
         return simulation_cell_key(
             config, workload_name, records_per_core, scale, seed, warmup_fraction,
-            page_size, timeline_interval,
+            page_size, timeline_interval, timeline_bounds,
         )
 
     def get(self, key: str) -> Optional[SimulationResults]:
@@ -195,6 +205,68 @@ class ResultCache:
 GLOBAL_CACHE = ResultCache()
 
 
+def warmup_checkpoint_key(
+    config: SystemConfig,
+    workload_name: str,
+    scale: float,
+    seed: int,
+    page_size: int,
+    warmup_records: int,
+) -> str:
+    """Content-hashed identity of a warm engine state (the warmup edge).
+
+    Deliberately narrower than :func:`simulation_cell_key`: the state at the
+    warmup boundary depends on the configuration, the workload streams and
+    the warmup length — NOT on the total trace length — so one checkpoint
+    serves every ``records_per_core`` sharing the same warmup prefix.
+    """
+    payload = canonical_json({
+        "config": config_hash(config),
+        "workload": _workload_identity(workload_name),
+        "scale": scale,
+        "seed": seed,
+        "page_size": page_size,
+        "warmup_records_per_core": warmup_records,
+    })
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class _WarmupCheckpointer(RunController):
+    """Run controller that saves an engine snapshot at the warmup edge.
+
+    The engine already cuts batch runs exactly at the warmup threshold (so
+    ``begin_measurement`` fires at the same processed count in every mode);
+    this controller only asks for an edge at that same count, captures the
+    post-``begin_measurement`` state, and writes it atomically.  Results of
+    the checkpointing run are bit-identical to an uncontrolled run.
+    """
+
+    def __init__(self, warmup_total: int, path: str, workload_meta: Dict[str, object],
+                 events=None) -> None:
+        self.warmup_total = warmup_total
+        self.path = path
+        self.workload_meta = workload_meta
+        self.events = events
+        self.saved = False
+
+    def next_stop(self, processed: int) -> Optional[int]:
+        return None if self.saved else self.warmup_total
+
+    def on_edge(self, cursor) -> bool:
+        if not self.saved and cursor.processed >= self.warmup_total:
+            from repro.obs.snapshot import capture_cursor
+
+            capture_cursor(cursor, workload_meta=self.workload_meta).save(self.path)
+            self.saved = True
+            if self.events is not None:
+                self.events.emit("snapshot_saved", path=self.path,
+                                 records=cursor.processed, checkpoint=True)
+        return False
+
+    def on_finish(self, cursor) -> None:
+        return None
+
+
 def run_simulation(
     config: SystemConfig,
     workload_name: Optional[str] = None,
@@ -206,7 +278,9 @@ def run_simulation(
     page_size: Optional[int] = None,
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
     timeline_interval: Optional[int] = None,
+    timeline_bounds: Optional[Sequence[float]] = None,
     events=None,
+    checkpoint_dir: Optional[str] = None,
 ) -> SimulationResults:
     """Run one simulation (optionally memoised through ``cache``).
 
@@ -220,21 +294,34 @@ def run_simulation(
     ``timeline_interval`` attaches a
     :class:`~repro.obs.timeline.TimelineObserver` snapshotting windowed
     metric deltas every that many records (the timeline rides along on
-    ``result.timeline`` and in the cache).  ``events`` is an optional
+    ``result.timeline`` and in the cache); ``timeline_bounds`` overrides its
+    latency-histogram bucket edges.  ``events`` is an optional
     :class:`~repro.obs.events.EventLog` for the engine's run events.
+
+    ``checkpoint_dir`` enables warmup checkpointing for named workloads:
+    the engine state at the warmup edge is snapshotted to
+    ``<dir>/<key>.json`` (keyed by config/workload/warmup only — see
+    :func:`warmup_checkpoint_key`), and later runs sharing that warmup
+    prefix restore it and simulate only the measured portion.  Results are
+    bit-identical either way.  Cells with a timeline attached bypass
+    checkpointing: their timeline must cover the warmup windows too.
     """
     if (workload_name is None) == (workload is None):
         raise ValueError("provide exactly one of workload_name or workload")
     if not 0.0 <= warmup_fraction < 1.0:
         raise ValueError("warmup_fraction must be in [0, 1)")
+    if timeline_bounds is not None and timeline_interval is None:
+        raise ValueError("timeline_bounds requires timeline_interval")
     warmup_records = int(records_per_core * warmup_fraction)
 
     def observer():
         if timeline_interval is None:
             return None
+        from repro.obs.metrics import DEFAULT_LATENCY_BOUNDS
         from repro.obs.timeline import TimelineObserver
 
-        return TimelineObserver(timeline_interval)
+        bounds = timeline_bounds if timeline_bounds is not None else DEFAULT_LATENCY_BOUNDS
+        return TimelineObserver(timeline_interval, latency_bounds=bounds)
 
     if workload is not None:
         system = System(config, workload)
@@ -255,6 +342,7 @@ def run_simulation(
             warmup_fraction=warmup_fraction,
             page_size=effective_page_size,
             timeline_interval=timeline_interval,
+            timeline_bounds=timeline_bounds,
         )
         cached = cache.get(key)
         if cached is not None:
@@ -264,14 +352,47 @@ def run_simulation(
         workload_name, config.num_cores, scale=scale, seed=seed, page_size=effective_page_size
     )
     system = System(config, built)
-    result = SimulationEngine(system).run(
+    engine = SimulationEngine(system)
+    controller = None
+    if checkpoint_dir is not None and warmup_records > 0 and timeline_interval is None:
+        ckpt_key = warmup_checkpoint_key(
+            config, workload_name, scale, seed, effective_page_size, warmup_records
+        )
+        ckpt_path = os.path.join(checkpoint_dir, f"{ckpt_key}.json")
+        restored = False
+        if os.path.exists(ckpt_path):
+            from repro.obs.snapshot import EngineSnapshot
+
+            try:
+                engine.restore(EngineSnapshot.load(ckpt_path))
+                restored = True
+            except (ValueError, KeyError, OSError):
+                # A stale or truncated checkpoint is a cache miss, not an
+                # error: fall through to the full run (which rewrites it).
+                restored = False
+        if restored:
+            if events is not None:
+                events.emit("checkpoint_hit", path=ckpt_path,
+                            workload=workload_name, seed=seed,
+                            warmup_records_per_core=warmup_records)
+        else:
+            controller = _WarmupCheckpointer(
+                warmup_records * config.num_cores, ckpt_path,
+                workload_meta={
+                    "name": workload_name, "num_cores": config.num_cores,
+                    "scale": scale, "seed": seed, "page_size": effective_page_size,
+                },
+                events=events,
+            )
+    result = engine.run(
         records_per_core, warmup_records_per_core=warmup_records,
-        observer=observer(), events=events,
+        observer=observer(), events=events, controller=controller,
     )
     if cache is not None and key is not None:
         meta = simulation_cell_meta(
             config, workload_name, records_per_core, scale, seed, warmup_fraction,
             effective_page_size, timeline_interval=timeline_interval,
+            timeline_bounds=timeline_bounds,
         )
         cache.put(key, result, meta=meta)
     return result

@@ -13,8 +13,18 @@ The layer every other subsystem reports through:
   :class:`ObsSink` bundling a campaign's event/heartbeat destinations;
 * :mod:`repro.obs.heartbeat` — per-worker liveness files behind
   ``python -m repro.campaign status --live``;
-* ``python -m repro.obs`` (:mod:`repro.obs.cli`) summarizes, merges and
-  exports all of the above.
+* :mod:`repro.obs.snapshot` — :class:`EngineSnapshot` serializes full
+  engine state at a record boundary; restoring resumes bit-identically in
+  every engine mode (and backs campaign warmup checkpointing);
+* :mod:`repro.obs.watch` — :class:`Watchpoint`/:class:`WatchSession`
+  declarative triggers on addresses, pages and cache sets emitting
+  fill/evict/writeback/touch events;
+* :mod:`repro.obs.inspect` — :class:`InspectorServer`/:class:`InspectorClient`
+  file-mailbox attach protocol (pause, step, dump, watch a live run);
+* :mod:`repro.obs.export_chrome` — Chrome trace-event JSON export of
+  timelines, events and watch hits (open in Perfetto);
+* ``python -m repro.obs`` (:mod:`repro.obs.cli`) summarizes, merges,
+  exports, attaches and replays all of the above.
 """
 
 from repro.obs.events import (
@@ -27,7 +37,9 @@ from repro.obs.events import (
     validate_event,
     write_events,
 )
+from repro.obs.export_chrome import events_to_trace, timeline_to_trace, write_trace
 from repro.obs.heartbeat import HeartbeatWriter, is_stale, read_heartbeats
+from repro.obs.inspect import InspectorClient, InspectorServer
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BOUNDS,
     Counter,
@@ -35,32 +47,45 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.snapshot import EngineSnapshot, capture, capture_cursor, register_scheme_codec
 from repro.obs.timeline import (
     DEFAULT_INTERVAL_RECORDS,
     Timeline,
     TimelineObserver,
     TimelineWindow,
 )
+from repro.obs.watch import WatchSession, Watchpoint
 
 __all__ = [
     "DEFAULT_INTERVAL_RECORDS",
     "DEFAULT_LATENCY_BOUNDS",
     "EVENT_TYPES",
     "Counter",
+    "EngineSnapshot",
     "EventLog",
     "Gauge",
     "HeartbeatWriter",
     "Histogram",
+    "InspectorClient",
+    "InspectorServer",
     "MetricsRegistry",
     "ObsSink",
     "Timeline",
     "TimelineObserver",
     "TimelineWindow",
+    "WatchSession",
+    "Watchpoint",
+    "capture",
+    "capture_cursor",
+    "events_to_trace",
     "is_stale",
     "make_event",
     "merge_events",
     "read_events",
     "read_heartbeats",
+    "register_scheme_codec",
+    "timeline_to_trace",
     "validate_event",
     "write_events",
+    "write_trace",
 ]

@@ -42,6 +42,13 @@ EVENT_TYPES = frozenset({
     "heartbeat",       # executor worker liveness
     "campaign_start",  # driver: campaign expansion done, execution begins
     "campaign_end",    # driver: campaign finished
+    "watch_hit",       # watch: a watchpoint fired (touch/fill/evict/writeback)
+    "watch_set",       # watch/inspector: a watchpoint was installed
+    "watch_clear",     # watch/inspector: a watchpoint was removed
+    "inspect_pause",   # inspector: engine paused at a record boundary
+    "inspect_resume",  # inspector: engine resumed after a pause
+    "snapshot_saved",  # inspector/checkpoint: engine snapshot written to disk
+    "checkpoint_hit",  # campaign: a cell restored a shared warmup checkpoint
 })
 
 #: Fields every event carries.

@@ -1,0 +1,356 @@
+"""Attachable engine inspector: a file-mailbox control channel.
+
+No sockets: the simulating process and the attaching client share a
+directory (HSX-mailbox style).  The server — an
+:class:`~repro.sim.batch.RunController` riding the engine's run-cut edges —
+keeps ``state.json`` fresh, consumes ``cmd-<seq>.json`` files, and answers
+each with ``reply-<seq>.json``.  All writes are atomic (write-temp +
+rename), so neither side ever reads a partial file.
+
+Commands::
+
+    state                  current progress + scheme stats
+    pause [at]             pause at the next edge (or at record ``at``)
+    resume                 leave the paused state
+    step [n]               run ``n`` more records (default 1), pause again
+    dump [path]            capture an engine snapshot to ``path``
+    watch  {spec}          install a watchpoint (``kind:value[:hits]``)
+    unwatch {wid}          remove a watchpoint
+    watches                list installed watchpoints
+    quit                   stop the run early
+
+While paused the server blocks inside ``on_edge`` polling the mailbox, so
+the engine is frozen between two records and every ``state``/``dump``
+observation is exact.  Between edges a detached engine pays nothing and an
+attached one only an extra run cut every ``poll_records`` records.
+
+``python -m repro.obs attach <dir>`` is the interactive client;
+``python -m repro.obs replay <snapshot>`` rebuilds an engine from a saved
+snapshot and re-runs the remainder (time-travel on top of trace replay).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from repro.obs.snapshot import capture_cursor
+from repro.obs.watch import WatchSession, Watchpoint
+from repro.sim.batch import EngineCursor, RunController
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import EventLog
+
+#: Default records between mailbox polls (one extra run cut per poll).
+DEFAULT_POLL_RECORDS = 50_000
+
+#: Seconds between mailbox scans while paused / while a client waits.
+POLL_SECONDS = 0.05
+
+_CMD_RE = re.compile(r"^cmd-(\d+)\.json$")
+
+
+def _write_json_atomic(path: Path, payload: Dict[str, Any]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(prefix=".mbox-", dir=str(path.parent))
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, str(path))
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _read_json(path: Path) -> Optional[Dict[str, Any]]:
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+class InspectorServer(RunController):
+    """Engine-side half of the mailbox protocol.
+
+    Construct with the control directory, attach an (optional but
+    recommended) :class:`~repro.obs.watch.WatchSession`, and pass the server
+    as ``engine.run(..., controller=server)``.  The watch session must be
+    attached to the system *before* the run starts — the batch engine
+    decides at run start whether the inline hit path is safe, so a hook
+    installed mid-run would miss inlined records.
+    """
+
+    def __init__(
+        self,
+        control_dir: Any,
+        watch: Optional[WatchSession] = None,
+        events: Optional["EventLog"] = None,
+        poll_records: int = DEFAULT_POLL_RECORDS,
+        pause_at: Optional[int] = None,
+        workload_meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if poll_records <= 0:
+            raise ValueError("poll_records must be positive")
+        self.dir = Path(control_dir)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.watch = watch
+        self.events = events
+        self.poll_records = poll_records
+        self.workload_meta = workload_meta
+        #: Snapshot files written by ``dump`` commands.
+        self.snapshots: List[str] = []
+        # Pause target: None = run freely; N = pause at the first edge with
+        # processed >= N (0 = pause at the very next edge).
+        self._pause_at = pause_at
+        self._quit = False
+        self._dump_seq = 0
+
+    # ----------------------------------------------------------- controller
+
+    def next_stop(self, processed: int) -> Optional[int]:
+        if self._quit:
+            return None
+        stop = processed + self.poll_records
+        if self._pause_at is not None and processed < self._pause_at < stop:
+            stop = self._pause_at
+        if self.watch is not None:
+            watch_stop = self.watch.next_stop(processed)
+            if watch_stop is not None and watch_stop < stop:
+                stop = watch_stop
+        return stop
+
+    def on_edge(self, cursor: EngineCursor) -> bool:
+        if self.watch is not None:
+            self.watch.flush()
+        self._write_state(cursor, "running")
+        action = self._drain(cursor)
+        if action == "quit":
+            return True
+        if self._pause_at is not None and cursor.processed >= self._pause_at:
+            return self._pause_loop(cursor)
+        return False
+
+    def on_finish(self, cursor: EngineCursor) -> None:
+        if self.watch is not None:
+            self.watch.flush()
+        self._write_state(cursor, "finished")
+
+    # -------------------------------------------------------------- mailbox
+
+    def _write_state(self, cursor: EngineCursor, status: str) -> None:
+        system = cursor.system
+        state: Dict[str, Any] = {
+            "pid": os.getpid(),
+            "status": status,
+            "processed": cursor.processed,
+            "consumed_per_core": list(cursor.consumed_per_core),
+            "measurement_started": cursor.measurement_started,
+            "workload": system.workload.name,
+            "scheme": system.scheme.name,
+            "updated": time.time(),
+        }
+        if self.watch is not None:
+            state["watchpoints"] = [w.describe() for w in self.watch.watchpoints]
+            state["watch_hits"] = len(self.watch.hits)
+        _write_json_atomic(self.dir / "state.json", state)
+
+    def _pending_commands(self) -> List[Path]:
+        try:
+            names = os.listdir(str(self.dir))
+        except OSError:
+            return []
+        commands = []
+        for name in names:
+            match = _CMD_RE.match(name)
+            if match:
+                commands.append((int(match.group(1)), self.dir / name))
+        commands.sort()
+        return [path for _seq, path in commands]
+
+    def _drain(self, cursor: EngineCursor) -> Optional[str]:
+        """Process every queued command; returns 'quit'/'resume' or None."""
+        action: Optional[str] = None
+        for path in self._pending_commands():
+            command = _read_json(path)
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            if command is None:
+                continue
+            result = self._handle(command, cursor)
+            if result in ("quit", "resume"):
+                action = result
+        return action
+
+    def _handle(self, command: Dict[str, Any], cursor: EngineCursor) -> Optional[str]:
+        seq = command.get("seq", 0)
+        name = command.get("cmd")
+        try:
+            reply, action = self._dispatch(name, command, cursor)
+            reply.setdefault("ok", True)
+        except Exception as error:  # reply instead of killing the run
+            reply, action = {"ok": False, "error": str(error)}, None
+        reply["seq"] = seq
+        reply["cmd"] = name
+        _write_json_atomic(self.dir / f"reply-{seq}.json", reply)
+        return action
+
+    def _dispatch(
+        self, name: Optional[str], command: Dict[str, Any], cursor: EngineCursor
+    ) -> Any:
+        if name == "state":
+            return self._state_payload(cursor), None
+        if name == "pause":
+            at = command.get("at")
+            self._pause_at = int(at) if at is not None else 0
+            return {"pause_at": self._pause_at}, None
+        if name == "resume":
+            self._pause_at = None
+            return {}, "resume"
+        if name == "step":
+            n = int(command.get("n", 1))
+            if n <= 0:
+                raise ValueError("step count must be positive")
+            self._pause_at = cursor.processed + n
+            return {"pause_at": self._pause_at}, "resume"
+        if name == "dump":
+            path = command.get("path")
+            if path is None:
+                self._dump_seq += 1
+                path = str(self.dir / f"snapshot-{cursor.processed}-{self._dump_seq}.json")
+            snapshot = capture_cursor(cursor, workload_meta=self.workload_meta)
+            snapshot.save(str(path))
+            self.snapshots.append(str(path))
+            if self.events is not None:
+                self.events.emit(
+                    "snapshot_saved", path=str(path), records=cursor.processed
+                )
+            return {"path": str(path), "processed": cursor.processed}, None
+        if name == "watch":
+            if self.watch is None:
+                raise ValueError(
+                    "no watch session attached to this run; enable watchpoints "
+                    "at launch (e.g. --inspect) so the hook observes every record"
+                )
+            watchpoint = Watchpoint.parse(command["spec"], wid=command.get("wid"))
+            self.watch.add(watchpoint)
+            return {"watch": watchpoint.describe()}, None
+        if name == "unwatch":
+            if self.watch is None:
+                raise ValueError("no watch session attached to this run")
+            removed = self.watch.remove(command["wid"])
+            return {"removed": removed}, None
+        if name == "watches":
+            if self.watch is None:
+                return {"watchpoints": [], "hits": 0}, None
+            summary = self.watch.summary()
+            return summary, None
+        if name == "quit":
+            self._quit = True
+            return {}, "quit"
+        raise ValueError(f"unknown command {name!r}")
+
+    def _state_payload(self, cursor: EngineCursor) -> Dict[str, Any]:
+        system = cursor.system
+        payload: Dict[str, Any] = {
+            "processed": cursor.processed,
+            "consumed_per_core": list(cursor.consumed_per_core),
+            "measurement_started": cursor.measurement_started,
+            "workload": system.workload.name,
+            "scheme": system.scheme.name,
+            "core_clocks": [core.clock for core in system.cores],
+            "llc_misses": system.llc_misses,
+            "llc_writebacks": system.llc_writebacks,
+            "scheme_stats": {
+                key: value for key, value in system.scheme.stats._counters.items()
+            },
+        }
+        if self.watch is not None:
+            payload["watch"] = self.watch.summary()
+        return payload
+
+    def _pause_loop(self, cursor: EngineCursor) -> bool:
+        """Block between two records until a resume/step/quit arrives."""
+        self._pause_at = None
+        self._write_state(cursor, "paused")
+        if self.events is not None:
+            self.events.emit("inspect_pause", records=cursor.processed)
+        while True:
+            action = self._drain(cursor)
+            if action == "quit":
+                return True
+            if action == "resume":
+                if self.events is not None:
+                    self.events.emit("inspect_resume", records=cursor.processed)
+                self._write_state(cursor, "running")
+                return False
+            time.sleep(POLL_SECONDS)
+
+
+class InspectorClient:
+    """Client-side half: writes commands, waits for replies."""
+
+    def __init__(self, control_dir: Any, timeout: float = 30.0) -> None:
+        self.dir = Path(control_dir)
+        self.timeout = timeout
+        self._seq = self._next_seq()
+
+    def _next_seq(self) -> int:
+        highest = 0
+        try:
+            names = os.listdir(str(self.dir))
+        except OSError:
+            return 1
+        for name in names:
+            match = re.match(r"^(?:cmd|reply)-(\d+)\.json$", name)
+            if match:
+                highest = max(highest, int(match.group(1)))
+        return highest + 1
+
+    def state(self) -> Optional[Dict[str, Any]]:
+        """Read the server's last published state (no round-trip)."""
+        return _read_json(self.dir / "state.json")
+
+    def request(self, cmd: str, **args: Any) -> Dict[str, Any]:
+        """Send one command and wait for its reply."""
+        seq = self._seq
+        self._seq += 1
+        payload = {"seq": seq, "cmd": cmd}
+        payload.update(args)
+        _write_json_atomic(self.dir / f"cmd-{seq}.json", payload)
+        reply_path = self.dir / f"reply-{seq}.json"
+        deadline = time.monotonic() + self.timeout
+        while time.monotonic() < deadline:
+            if reply_path.exists():
+                reply = _read_json(reply_path)
+                if reply is not None:
+                    try:
+                        reply_path.unlink()
+                    except OSError:
+                        pass
+                    return reply
+            time.sleep(POLL_SECONDS)
+        raise TimeoutError(
+            f"no reply to {cmd!r} within {self.timeout}s; is the run still "
+            f"alive? (state: {self.state()})"
+        )
+
+    def wait_for_status(self, status: str, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block until ``state.json`` reports ``status``; returns the state."""
+        deadline = time.monotonic() + (timeout if timeout is not None else self.timeout)
+        while time.monotonic() < deadline:
+            state = self.state()
+            if state is not None and state.get("status") == status:
+                return state
+            time.sleep(POLL_SECONDS)
+        raise TimeoutError(f"server never reached status {status!r} (state: {self.state()})")

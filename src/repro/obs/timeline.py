@@ -331,13 +331,18 @@ class TimelineObserver:
 
     # ----------------------------------------------------------- engine API
 
-    def begin(self, system, warmup: bool = False) -> None:
-        """Attach to ``system`` and open the first window at record 0."""
+    def begin(self, system, warmup: bool = False, start_record: int = 0) -> None:
+        """Attach to ``system`` and open the first window.
+
+        ``start_record`` is non-zero only when the engine resumes from a
+        snapshot: the first window then opens at the resume point instead
+        of record 0 (earlier windows belong to the original run).
+        """
         self._system = system
         self._histogram = Histogram("memory_stall_cycles", self.latency_bounds)
         self.timeline = Timeline(self.interval, self.latency_bounds)
         self._phase = PHASE_WARMUP if warmup else PHASE_MEASURE
-        self._window_start = 0
+        self._window_start = start_record
         self._last = self._read()
         system._obs_latency_hook = self._histogram.observe
 

@@ -1,0 +1,332 @@
+"""Watchpoints: declarative triggers on addresses, pages, and cache sets.
+
+A :class:`Watchpoint` names something to watch — an exact address, a page
+number, or an LLC set index — and which hit kinds to report:
+
+* ``touch`` — a record accessed the watched address/page/set;
+* ``fill`` — the watched page became DRAM-cache resident;
+* ``evict`` — the watched page left the DRAM cache (including evictions
+  caused by *other* pages' accesses: residency is re-checked after every
+  record, not only on matching accesses);
+* ``writeback`` — an LLC writeback targeted the watched line/page/set.
+
+:class:`WatchSession` owns a set of watchpoints for one engine run.  It is
+both the per-record hook (``System._obs_watch_hook`` — a detached engine
+pays only the existing ``is None`` check, and results are bit-identical
+either way because the hook only reads state) and a
+:class:`~repro.sim.batch.RunController` whose edges flush buffered hits to
+the structured :class:`~repro.obs.events.EventLog` (the log opens its file
+per emit, so hits are buffered in memory and flushed at run edges — never
+from inside the per-record loop).
+
+Hits are fully deterministic: each carries the global record index, core,
+address and page that fired it, all derived from simulation state.  Only
+the event-log envelope (``ts``/``pid``) differs between serial and worker
+processes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.sim.batch import EngineCursor, RunController
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import EventLog
+    from repro.sim.system import System
+
+#: What a watchpoint can be anchored to.
+WATCH_KINDS = ("addr", "page", "set")
+
+#: Hit kinds a watchpoint can report.
+HIT_KINDS = ("touch", "fill", "evict", "writeback")
+
+#: Records between hit flushes to the event log (a run-cut granularity, not
+#: a correctness knob: hits are buffered exactly and flushed in order).
+DEFAULT_FLUSH_INTERVAL = 4096
+
+
+class Watchpoint:
+    """One declarative trigger; immutable after construction."""
+
+    __slots__ = ("wid", "kind", "value", "on")
+
+    def __init__(
+        self,
+        wid: str,
+        kind: str,
+        value: int,
+        on: Optional[Sequence[str]] = None,
+    ) -> None:
+        if kind not in WATCH_KINDS:
+            raise ValueError(f"unknown watch kind {kind!r}; expected one of {WATCH_KINDS}")
+        if value < 0:
+            raise ValueError(f"watch value must be non-negative, got {value}")
+        hit_kinds = tuple(on) if on is not None else HIT_KINDS
+        for hit in hit_kinds:
+            if hit not in HIT_KINDS:
+                raise ValueError(f"unknown hit kind {hit!r}; expected one of {HIT_KINDS}")
+        if kind == "set" and ("fill" in hit_kinds or "evict" in hit_kinds) and on is not None:
+            raise ValueError("set watchpoints cannot report fill/evict (page-granular)")
+        if kind == "set" and on is None:
+            hit_kinds = ("touch", "writeback")
+        self.wid = str(wid)
+        self.kind = kind
+        self.value = int(value)
+        self.on = hit_kinds
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"wid": self.wid, "kind": self.kind, "value": self.value, "on": list(self.on)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "Watchpoint":
+        return cls(
+            wid=payload["wid"],
+            kind=payload["kind"],
+            value=payload["value"],
+            on=payload["on"],
+        )
+
+    @classmethod
+    def parse(cls, spec: str, wid: Optional[str] = None) -> "Watchpoint":
+        """Parse a CLI spec ``kind:value[:hit1|hit2]``; values accept 0x….
+
+        Examples: ``page:0x12``, ``addr:4096:touch``, ``set:7``,
+        ``page:300:fill|evict``.
+        """
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"bad watch spec {spec!r}; expected kind:value[:hit1|hit2] "
+                f"with kind in {WATCH_KINDS}"
+            )
+        kind = parts[0].strip()
+        value = int(parts[1], 0)
+        on: Optional[List[str]] = None
+        if len(parts) == 3:
+            on = [token.strip() for token in parts[2].split("|") if token.strip()]
+        if wid is None:
+            wid = spec
+        return cls(wid=wid, kind=kind, value=value, on=on)
+
+    def describe(self) -> str:
+        return f"{self.wid}: {self.kind}:{hex(self.value)} on {'|'.join(self.on)}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Watchpoint({self.describe()})"
+
+
+class WatchSession(RunController):
+    """A set of watchpoints attached to one engine run.
+
+    Use::
+
+        watch = WatchSession([Watchpoint("hot", "page", 0x12)], events=log)
+        watch.attach(system)
+        engine.run(..., controller=watch)
+        watch.detach()
+
+    ``attach`` installs the per-record hook (disabling the batch engine's
+    inline hit path so every record is observed — the slowdown is the same
+    mechanism the latency-histogram observer uses, and results stay
+    bit-identical).  As a controller, the session flushes buffered hits to
+    the event log every ``flush_interval`` records and at run end.
+    """
+
+    def __init__(
+        self,
+        watchpoints: Sequence[Watchpoint] = (),
+        events: Optional["EventLog"] = None,
+        flush_interval: int = DEFAULT_FLUSH_INTERVAL,
+    ) -> None:
+        if flush_interval <= 0:
+            raise ValueError("flush_interval must be positive")
+        self.watchpoints: List[Watchpoint] = []
+        self.events = events
+        self.flush_interval = flush_interval
+        #: Every hit observed, in record order (deterministic payloads).
+        self.hits: List[Dict[str, Any]] = []
+        #: Hits not yet written to the event log.
+        self._pending: List[Dict[str, Any]] = []
+        #: Global record counter (equals the engine's processed count while
+        #: attached from the start of the run / resume point).
+        self.records = 0
+        self._system: Optional["System"] = None
+        self._page_size = 0
+        self._line_bits = 0
+        self._set_mask = 0
+        # wid -> (watched page, last-known residency); page watches only.
+        self._resident: Dict[str, Tuple[int, bool]] = {}
+        for watchpoint in watchpoints:
+            self.add(watchpoint)
+
+    # ------------------------------------------------------------- lifecycle
+
+    def attach(self, system: "System", start_record: int = 0) -> None:
+        """Install the per-record hook on ``system``."""
+        if system._obs_watch_hook is not None:
+            raise ValueError("system already has a watch hook attached")
+        self._system = system
+        self._page_size = system.page_size
+        l3 = system.hierarchy.l3
+        self._line_bits = l3._line_bits
+        self._set_mask = l3._set_mask
+        self.records = start_record
+        for watchpoint in self.watchpoints:
+            self._init_residency(watchpoint)
+        system._obs_watch_hook = self._on_record
+
+    def detach(self) -> None:
+        """Remove the hook and flush any buffered hits."""
+        if self._system is not None:
+            self._system._obs_watch_hook = None
+            self._system = None
+        self.flush()
+
+    def add(self, watchpoint: Watchpoint) -> None:
+        """Add a watchpoint (allowed while attached, between records)."""
+        if any(existing.wid == watchpoint.wid for existing in self.watchpoints):
+            raise ValueError(f"duplicate watchpoint id {watchpoint.wid!r}")
+        self.watchpoints.append(watchpoint)
+        if self._system is not None:
+            self._init_residency(watchpoint)
+        if self.events is not None:
+            self.events.emit("watch_set", **watchpoint.to_dict())
+
+    def remove(self, wid: str) -> bool:
+        """Remove the watchpoint named ``wid``; returns whether it existed."""
+        for index, watchpoint in enumerate(self.watchpoints):
+            if watchpoint.wid == wid:
+                del self.watchpoints[index]
+                self._resident.pop(wid, None)
+                if self.events is not None:
+                    self.events.emit("watch_clear", wid=wid)
+                return True
+        return False
+
+    def _init_residency(self, watchpoint: Watchpoint) -> None:
+        if watchpoint.kind == "set":
+            return
+        if "fill" not in watchpoint.on and "evict" not in watchpoint.on:
+            return
+        if watchpoint.kind == "page":
+            page = watchpoint.value
+        else:
+            page = watchpoint.value // self._page_size
+        assert self._system is not None
+        resident = bool(self._system.scheme.is_resident(page))
+        self._resident[watchpoint.wid] = (page, resident)
+
+    # ------------------------------------------------------------- the hook
+
+    def _on_record(self, core_id: int, addr: int, is_write: bool, outcome: Any) -> None:
+        """Per-record hook: match every watchpoint against this record.
+
+        Called at the end of ``process_record_cols`` — reads state only, so
+        simulation results are bit-identical with or without it.
+        """
+        record = self.records
+        self.records = record + 1
+        page = addr // self._page_size
+        line_bits = self._line_bits
+        set_index = (addr >> line_bits) & self._set_mask
+        writebacks = outcome.writebacks
+        is_resident = self._system.scheme.is_resident if self._system is not None else None
+        for watchpoint in self.watchpoints:
+            kind = watchpoint.kind
+            on = watchpoint.on
+            if kind == "page":
+                touched = page == watchpoint.value
+            elif kind == "addr":
+                touched = addr == watchpoint.value
+            else:
+                touched = set_index == watchpoint.value
+            if touched and "touch" in on:
+                self._hit(watchpoint, "touch", record, core_id, addr, page, is_write)
+            if writebacks and "writeback" in on:
+                for writeback in writebacks:
+                    wb_addr = writeback.addr
+                    if kind == "page":
+                        match = wb_addr // self._page_size == watchpoint.value
+                    elif kind == "addr":
+                        match = wb_addr >> line_bits == watchpoint.value >> line_bits
+                    else:
+                        match = (wb_addr >> line_bits) & self._set_mask == watchpoint.value
+                    if match:
+                        self._hit(
+                            watchpoint, "writeback", record, core_id, addr, page,
+                            is_write, wb_addr=wb_addr,
+                        )
+            state = self._resident.get(watchpoint.wid)
+            if state is not None and is_resident is not None:
+                watched_page, was_resident = state
+                now_resident = bool(is_resident(watched_page))
+                if now_resident != was_resident:
+                    self._resident[watchpoint.wid] = (watched_page, now_resident)
+                    hit_kind = "fill" if now_resident else "evict"
+                    if hit_kind in on:
+                        self._hit(watchpoint, hit_kind, record, core_id, addr, page, is_write)
+
+    def _hit(
+        self,
+        watchpoint: Watchpoint,
+        hit_kind: str,
+        record: int,
+        core_id: int,
+        addr: int,
+        page: int,
+        is_write: bool,
+        wb_addr: Optional[int] = None,
+    ) -> None:
+        hit: Dict[str, Any] = {
+            "watch": watchpoint.wid,
+            "kind": hit_kind,
+            "record": record,
+            "core": core_id,
+            "addr": addr,
+            "page": page,
+            "write": bool(is_write),
+        }
+        if wb_addr is not None:
+            hit["wb_addr"] = wb_addr
+        self.hits.append(hit)
+        self._pending.append(hit)
+
+    # ------------------------------------------------- controller protocol
+
+    def next_stop(self, processed: int) -> Optional[int]:
+        return processed + self.flush_interval
+
+    def on_edge(self, cursor: EngineCursor) -> bool:
+        self.flush()
+        return False
+
+    def on_finish(self, cursor: EngineCursor) -> None:
+        self.flush()
+
+    def flush(self) -> int:
+        """Emit buffered hits to the event log; returns the count emitted."""
+        pending = self._pending
+        if not pending:
+            return 0
+        count = len(pending)
+        if self.events is not None:
+            for hit in pending:
+                self.events.emit("watch_hit", **hit)
+        self._pending = []
+        return count
+
+    def summary(self) -> Dict[str, Any]:
+        """Hit counts per watchpoint and per hit kind."""
+        per_watch: Dict[str, int] = {}
+        per_kind: Dict[str, int] = {}
+        for hit in self.hits:
+            per_watch[hit["watch"]] = per_watch.get(hit["watch"], 0) + 1
+            per_kind[hit["kind"]] = per_kind.get(hit["kind"], 0) + 1
+        return {
+            "watchpoints": [w.describe() for w in self.watchpoints],
+            "hits": len(self.hits),
+            "per_watch": per_watch,
+            "per_kind": per_kind,
+            "records": self.records,
+        }

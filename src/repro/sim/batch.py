@@ -34,7 +34,7 @@ order).  Everything else falls back to ``process_record_cols`` itself.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Iterator, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.workloads.base import TraceBatch
 
@@ -47,6 +47,92 @@ if TYPE_CHECKING:
 #: Records per scalar stretch between vectorized-filter retries.  Only used
 #: when the numpy front end is attached; a pure-Python run is one stretch.
 _SCALAR_STRETCH = 32
+
+
+class EngineCursor:
+    """Read-only view of engine progress handed to controller edges.
+
+    ``consumed_per_core`` counts the records each core has consumed *within
+    the current run* — workload streams restart per run, so these are
+    exactly the fast-forward distances a snapshot resume needs.
+    """
+
+    __slots__ = ("system", "processed", "consumed_per_core", "measurement_started")
+
+    def __init__(
+        self,
+        system: "System",
+        processed: int,
+        consumed_per_core: List[int],
+        measurement_started: bool,
+    ) -> None:
+        self.system = system
+        self.processed = processed
+        self.consumed_per_core = consumed_per_core
+        self.measurement_started = measurement_started
+
+
+class RunController:
+    """Steers a running engine from outside the per-record loop.
+
+    A controller names the next processed-record count it wants control at
+    (:meth:`next_stop`) and the engine cuts its runs there, calling
+    :meth:`on_edge` with an :class:`EngineCursor` — exactly the mechanism
+    warmup/observer/budget boundaries already use, so a controller costs the
+    detached engine nothing and an attached one only extra run cuts.
+    ``on_edge`` may block (pause), mutate its own state, capture snapshots,
+    or return ``True`` to stop the run early.  :meth:`on_finish` fires once
+    after the last record (or after an early stop).
+    """
+
+    def next_stop(self, processed: int) -> Optional[int]:
+        """Next processed count to fire an edge at; None = no more edges."""
+        return None
+
+    def on_edge(self, cursor: EngineCursor) -> bool:
+        """Handle an edge; return True to stop the run early."""
+        return False
+
+    def on_finish(self, cursor: EngineCursor) -> None:
+        """Called once when the run ends (normally or via an early stop)."""
+        return None
+
+
+def _controller_stop(controller: "RunController", processed: int) -> float:
+    """Normalize a controller's next stop to a comparable, progressing bound."""
+    stop = controller.next_stop(processed)
+    if stop is None:
+        return float("inf")
+    # Clamp to at least one record of progress so a stale stop cannot stall
+    # the loop.
+    return float(stop) if stop > processed else float(processed + 1)
+
+
+def _edge(
+    controller: "RunController",
+    system: "System",
+    processed: int,
+    consumed: List[int],
+    measurement_started: bool,
+) -> bool:
+    """Fire a controller edge; returns True when the run should stop."""
+    cursor = EngineCursor(system, processed, list(consumed), measurement_started)
+    return bool(controller.on_edge(cursor))
+
+
+def _fast_forward(source: _CoreSource, count: int) -> int:
+    """Skip ``count`` already-consumed records; returns the records skipped."""
+    skipped = 0
+    while count > 0:
+        if source.pos >= source.length and not source.refill():
+            break
+        step = source.length - source.pos
+        if step > count:
+            step = count
+        source.pos += step
+        count -= step
+        skipped += step
+    return skipped
 
 
 class _CoreSource:
@@ -103,8 +189,13 @@ class BatchRunner:
         # The inline hit path replicates process_record_cols's TLB-hit +
         # L1-hit branch, which is only reachable when no per-record hook is
         # attached (HMA's cycle notifications, the observer's latency
-        # histogram).  With a hook attached every record takes the full path.
-        self._fast_ok = system._notify_cycle is None and system._obs_latency_hook is None
+        # histogram, a watchpoint hook).  With a hook attached every record
+        # takes the full path.
+        self._fast_ok = (
+            system._notify_cycle is None
+            and system._obs_latency_hook is None
+            and system._obs_watch_hook is None
+        )
         self._sources: List[_CoreSource] = []
         self._vector: Optional["VectorFrontEnd"] = None
         if vectorize and self._fast_ok:
@@ -120,6 +211,45 @@ class BatchRunner:
 
     # ------------------------------------------------------------------ scheduling
 
+    def _init_schedule(
+        self,
+        max_records_per_core: int,
+        resume: Optional[Dict[str, Any]],
+    ) -> Tuple[List[int], List[int], List[float], List[int], int]:
+        """Build (consumed, remaining, keys, live, processed) for the run.
+
+        On a fresh run the scheduling keys mirror the scalar engine's heap
+        entries: 0.0 before a core's first record (even on a reused engine),
+        the core's clock after its latest record otherwise.  On a resume the
+        sources are fast-forwarded by the snapshot's consumed counts and the
+        keys come from the restored core clocks — exactly the keys the
+        original run held at the snapshot edge.
+        """
+        system = self._system
+        num_cores = system.config.num_cores
+        if resume is None:
+            consumed = [0] * num_cores
+            processed = 0
+        else:
+            consumed = [int(count) for count in resume["consumed_per_core"]]
+            processed = int(resume["processed"])
+            for core_id, count in enumerate(consumed):
+                skipped = _fast_forward(self._sources[core_id], count)
+                if skipped != count:
+                    raise ValueError(
+                        f"cannot resume: core {core_id} stream holds {skipped} "
+                        f"records, snapshot consumed {count}; the workload does "
+                        "not match the snapshot"
+                    )
+        remaining = [max_records_per_core - count for count in consumed]
+        cores = system.cores
+        keys = [
+            cores[core_id].clock if consumed[core_id] > 0 else 0.0
+            for core_id in range(num_cores)
+        ]
+        live = [core_id for core_id in range(num_cores) if remaining[core_id] > 0]
+        return consumed, remaining, keys, live, processed
+
     def run(
         self,
         max_records_per_core: int,
@@ -128,6 +258,8 @@ class BatchRunner:
         measurement_started: bool,
         observer: Optional["TimelineObserver"],
         events: Optional["EventLog"],
+        controller: Optional["RunController"] = None,
+        resume: Optional[Dict[str, Any]] = None,
     ) -> int:
         """Drive the whole simulation; returns the records processed."""
         system = self._system
@@ -139,20 +271,18 @@ class BatchRunner:
         if self._vector is None:
             return self._run_plain(
                 max_records_per_core, total_budget, warmup_threshold,
-                measurement_started, observer, events,
+                measurement_started, observer, events, controller, resume,
             )
         sources = self._sources
         cores = system.cores
-        remaining = [max_records_per_core] * num_cores
-        # Scheduling keys mirror the scalar engine's heap entries: 0.0 before
-        # a core's first record (even on a reused engine), the core's clock
-        # after its latest record otherwise.
-        keys = [0.0] * num_cores
-        live = list(range(num_cores))
-        processed = 0
+        consumed, remaining, keys, live, processed = self._init_schedule(
+            max_records_per_core, resume
+        )
         observing = observer is not None
-        next_window = observer.interval if observer is not None else 0
+        next_window = processed + observer.interval if observer is not None else 0
         infinity = float("inf")
+        controlling = controller is not None
+        ctrl_next = _controller_stop(controller, processed) if controller is not None else infinity
 
         while live and processed < total_budget:
             best = -1
@@ -196,9 +326,14 @@ class BatchRunner:
                 window_left = next_window - processed
                 if window_left < cap:
                     cap = window_left
+            if controlling:
+                ctrl_left = ctrl_next - processed
+                if ctrl_left < cap:
+                    cap = int(ctrl_left)
             done = self._run_core(best, cap, b_key, b_core)
             processed += done
             remaining[best] -= done
+            consumed[best] += done
             keys[best] = cores[best].clock
             if not measurement_started and processed >= warmup_threshold:
                 system.begin_measurement()
@@ -211,8 +346,17 @@ class BatchRunner:
             if observer is not None and processed >= next_window:
                 observer.snapshot(processed)
                 next_window = processed + observer.interval
+            if controller is not None and processed >= ctrl_next:
+                stop_run = _edge(controller, system, processed, consumed, measurement_started)
+                ctrl_next = _controller_stop(controller, processed)
+                if stop_run:
+                    break
             if remaining[best] <= 0:
                 live.remove(best)
+        if controller is not None:
+            controller.on_finish(
+                EngineCursor(system, processed, list(consumed), measurement_started)
+            )
         return processed
 
     def _run_plain(
@@ -223,6 +367,8 @@ class BatchRunner:
         measurement_started: bool,
         observer: Optional["TimelineObserver"],
         events: Optional["EventLog"],
+        controller: Optional["RunController"] = None,
+        resume: Optional[Dict[str, Any]] = None,
     ) -> int:
         """The pure-Python batch loop: scheduler and record loop fully inlined.
 
@@ -260,16 +406,14 @@ class BatchRunner:
                 l1._sets, l1._set_mask, l1._line_bits, l1._lru,
                 core._issue_width, core._l1_stall, core.stats,
             ))
-        remaining = [max_records_per_core] * num_cores
-        # Scheduling keys mirror the scalar engine's heap entries: 0.0 before
-        # a core's first record (even on a reused engine), the core's clock
-        # after its latest record otherwise.
-        keys = [0.0] * num_cores
-        live = list(range(num_cores))
-        processed = 0
+        consumed, remaining, keys, live, processed = self._init_schedule(
+            max_records_per_core, resume
+        )
         observing = observer is not None
-        next_window = observer.interval if observer is not None else 0
+        next_window = processed + observer.interval if observer is not None else 0
         infinity = float("inf")
+        controlling = controller is not None
+        ctrl_next = _controller_stop(controller, processed) if controller is not None else infinity
 
         while live and processed < total_budget:
             if len(live) == 1:
@@ -317,6 +461,10 @@ class BatchRunner:
                 window_left = next_window - processed
                 if window_left < cap:
                     cap = window_left
+            if controlling:
+                ctrl_left = ctrl_next - processed
+                if ctrl_left < cap:
+                    cap = int(ctrl_left)
             (core, tlb, l1, tlb_entries, tlb_move, l1_sets, set_mask,
              line_bits, l1_lru, issue_width, l1_stall, stats) = contexts[best]
             gaps = source.gaps
@@ -393,6 +541,7 @@ class BatchRunner:
             keys[best] = clock
             processed += done
             remaining[best] -= done
+            consumed[best] += done
             if not measurement_started and processed >= warmup_threshold:
                 system.begin_measurement()
                 measurement_started = True
@@ -404,8 +553,17 @@ class BatchRunner:
             if observer is not None and processed >= next_window:
                 observer.snapshot(processed)
                 next_window = processed + observer.interval
+            if controller is not None and processed >= ctrl_next:
+                stop_run = _edge(controller, system, processed, consumed, measurement_started)
+                ctrl_next = _controller_stop(controller, processed)
+                if stop_run:
+                    break
             if remaining[best] <= 0:
                 live.remove(best)
+        if controller is not None:
+            controller.on_finish(
+                EngineCursor(system, processed, list(consumed), measurement_started)
+            )
         return processed
 
     def _run_core(self, core_id: int, cap: int, b_clock: float, b_core: int) -> int:

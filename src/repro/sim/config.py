@@ -464,6 +464,41 @@ class SystemConfig:
         return dataclasses.asdict(self)
 
 
+#: Nested dataclass fields of :class:`SystemConfig` (for config_from_dict).
+_NESTED_CONFIG_FIELDS: Dict[str, type] = {
+    "core": CoreConfig,
+    "l1": CacheLevelConfig,
+    "l2": CacheLevelConfig,
+    "l3": CacheLevelConfig,
+    "tlb": TlbConfig,
+    "dram_cache": DramCacheConfig,
+    "in_package_dram": DramConfig,
+    "off_package_dram": DramConfig,
+}
+
+
+def config_from_dict(payload: Dict[str, object]) -> "SystemConfig":
+    """Rebuild a :class:`SystemConfig` from its :meth:`~SystemConfig.to_dict`
+    form (nested dicts), validating every level on the way up.
+
+    The inverse of ``to_dict`` — ``config_from_dict(c.to_dict()) == c`` and
+    both hash identically — used by snapshot replay and anything else that
+    persists a configuration as JSON.
+    """
+    from repro.util.serde import dataclass_from_dict
+
+    data = dict(payload)
+    for name, cls in _NESTED_CONFIG_FIELDS.items():
+        value = data.get(name)
+        if isinstance(value, dict):
+            sub = dict(value)
+            timing = sub.get("timing")
+            if isinstance(timing, dict):
+                sub["timing"] = dataclass_from_dict(DramTimingConfig, timing)
+            data[name] = dataclass_from_dict(cls, sub)
+    return dataclass_from_dict(SystemConfig, data)
+
+
 def canonical_json(payload: object) -> str:
     """Serialise ``payload`` to a canonical JSON string.
 

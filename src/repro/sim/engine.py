@@ -26,21 +26,67 @@ from __future__ import annotations
 
 import heapq
 import time
-from typing import TYPE_CHECKING, Optional
+from itertools import islice
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
-from repro.sim.batch import BatchRunner
+from repro.sim.batch import BatchRunner, EngineCursor, RunController, _controller_stop
 from repro.sim.results import SimulationResults
 from repro.sim.system import System
 
 if TYPE_CHECKING:
     from repro.obs.events import EventLog
+    from repro.obs.snapshot import EngineSnapshot
     from repro.obs.timeline import TimelineObserver
+
+__all__ = [
+    "DEFAULT_ENGINE_MODE",
+    "ENGINE_MODES",
+    "EngineCursor",
+    "RunController",
+    "SimulationEngine",
+]
 
 #: Engine modes accepted by :class:`SimulationEngine`.
 ENGINE_MODES = ("scalar", "batch", "numpy")
 
 #: Mode used when none is requested.
 DEFAULT_ENGINE_MODE = "batch"
+
+
+def _edge_single(
+    controller: RunController,
+    system: System,
+    processed: int,
+    consumed0: int,
+    measurement_started: bool,
+) -> bool:
+    """Fire a controller edge from the single-core scalar loop."""
+    cursor = EngineCursor(system, processed, [consumed0], measurement_started)
+    return bool(controller.on_edge(cursor))
+
+
+def _edge_from_remaining(
+    controller: RunController,
+    system: System,
+    processed: int,
+    max_records: int,
+    remaining: List[int],
+    shortfall: List[int],
+    measurement_started: bool,
+) -> bool:
+    """Fire a controller edge from the multi-core scalar loop.
+
+    Consumed counts are derived on demand so the per-record path never
+    maintains them: ``consumed = max - remaining - shortfall``, where
+    ``shortfall`` is the unconsumed remainder of a stream that exhausted
+    early (the only case where ``remaining`` over-counts consumption).
+    """
+    consumed = [
+        max_records - remaining[core_id] - shortfall[core_id]
+        for core_id in range(len(remaining))
+    ]
+    cursor = EngineCursor(system, processed, consumed, measurement_started)
+    return bool(controller.on_edge(cursor))
 
 
 class SimulationEngine:
@@ -54,9 +100,38 @@ class SimulationEngine:
         self.system = system
         self.mode = mode
         #: Records processed by the most recent :meth:`run` (reset per run).
+        #: After a :meth:`restore`, this includes the restored prefix — it is
+        #: the run-level count, matching what the uninterrupted run reports.
         self.records_processed = 0
         #: Records processed across every :meth:`run` on this engine.
         self.total_records_processed = 0
+        # Progress loaded by restore(); consumed by the next run().
+        self._resume: Optional[Dict[str, Any]] = None
+
+    def restore(self, snapshot: "EngineSnapshot") -> None:
+        """Load ``snapshot`` into the system; the next :meth:`run` resumes it.
+
+        The snapshot must have been captured under the same configuration
+        (validated by config hash) and the engine's workload must match the
+        one the snapshot was taken from.  The next ``run()`` call — with the
+        same ``max_records_per_core``/warmup/budget arguments as the
+        original — fast-forwards each core's stream by the snapshot's
+        consumed counts and continues bit-identically to the uninterrupted
+        run, in every engine mode.
+        """
+        snapshot.restore_into(self.system)
+        progress = snapshot.progress
+        consumed = [int(count) for count in progress["consumed_per_core"]]
+        num_cores = self.system.config.num_cores
+        if len(consumed) != num_cores:
+            raise ValueError(
+                f"snapshot covers {len(consumed)} cores, system has {num_cores}"
+            )
+        self._resume = {
+            "processed": int(progress["processed"]),
+            "consumed_per_core": consumed,
+            "measurement_started": bool(progress["measurement_started"]),
+        }
 
     def run(
         self,
@@ -65,6 +140,7 @@ class SimulationEngine:
         warmup_records_per_core: int = 0,
         observer: Optional["TimelineObserver"] = None,
         events: Optional["EventLog"] = None,
+        controller: Optional[RunController] = None,
     ) -> SimulationResults:
         """Run the simulation and return its results.
 
@@ -85,6 +161,12 @@ class SimulationEngine:
             events: optional :class:`~repro.obs.events.EventLog`; run
                 start/end and the warmup boundary are emitted as structured
                 events (never from inside the per-record loop).
+            controller: optional :class:`~repro.sim.batch.RunController`;
+                the run is cut at the controller's requested processed
+                counts and ``on_edge`` fires there with an
+                :class:`~repro.sim.batch.EngineCursor` (pause, snapshot,
+                watch-flush, early stop).  Detached, the loops pay one
+                boolean check.
         """
         if max_records_per_core <= 0:
             raise ValueError("max_records_per_core must be positive")
@@ -120,6 +202,22 @@ class SimulationEngine:
         warmup_threshold = num_cores * warmup_records_per_core
         total_budget = max_total_records if max_total_records is not None else float("inf")
 
+        # Resume state loaded by restore(): the run continues from the
+        # snapshot's processed counts (with the same run arguments as the
+        # original run, for bit-identity).
+        resume = self._resume
+        self._resume = None
+        start_record = 0
+        if resume is not None:
+            measurement_started = bool(resume["measurement_started"])
+            start_record = int(resume["processed"])
+            for core_id, count in enumerate(resume["consumed_per_core"]):
+                if count > max_records_per_core:
+                    raise ValueError(
+                        f"snapshot consumed {count} records on core {core_id}, "
+                        f"beyond max_records_per_core={max_records_per_core}"
+                    )
+
         # The per-run counter must start at zero: a reused engine otherwise
         # trips the warmup threshold immediately and burns the whole
         # ``max_total_records`` budget before processing a single record.
@@ -128,19 +226,21 @@ class SimulationEngine:
 
         observing = observer is not None
         if observer is not None:
-            observer.begin(system, warmup=not measurement_started)
+            observer.begin(
+                system, warmup=not measurement_started, start_record=start_record
+            )
 
         if self.mode == "scalar":
             processed = self._run_scalar(
                 max_records_per_core, total_budget, warmup_threshold,
-                measurement_started, observer, events,
+                measurement_started, observer, events, controller, resume,
             )
         else:
             runner = BatchRunner(system, vectorize=self.mode == "numpy")
             try:
                 processed = runner.run(
                     max_records_per_core, total_budget, warmup_threshold,
-                    measurement_started, observer, events,
+                    measurement_started, observer, events, controller, resume,
                 )
             finally:
                 runner.detach()
@@ -172,17 +272,25 @@ class SimulationEngine:
         measurement_started: bool,
         observer: Optional["TimelineObserver"],
         events: Optional["EventLog"],
+        controller: Optional[RunController] = None,
+        resume: Optional[Dict[str, Any]] = None,
     ) -> int:
         """The reference per-record loop; returns the records processed."""
         system = self.system
         workload = system.workload
         num_cores = system.config.num_cores
-        processed = 0
+        processed = int(resume["processed"]) if resume is not None else 0
 
         # Observer state: ``observing`` is the single boolean the disabled
         # path pays per record; window boundaries are plain int compares.
         observing = observer is not None
-        next_window = observer.interval if observer is not None else 0
+        next_window = processed + observer.interval if observer is not None else 0
+        controlling = controller is not None
+        ctrl_next = (
+            _controller_stop(controller, processed)
+            if controller is not None
+            else float("inf")
+        )
 
         # Hot loop: everything it touches per record is a local.
         process_cols = system.process_record_cols
@@ -193,6 +301,8 @@ class SimulationEngine:
             # is pure overhead.  The processing order is trivially identical.
             iterator = workload.trace(0)
             remaining0 = max_records_per_core
+            if resume is not None:
+                remaining0 -= self._skip(iterator, 0, resume["consumed_per_core"][0])
             while remaining0 > 0 and processed < total_budget:  # repro: hotpath
                 try:
                     gap, addr, is_write = next(iterator)
@@ -212,11 +322,41 @@ class SimulationEngine:
                 if observing and processed >= next_window and observer is not None:
                     observer.snapshot(processed)
                     next_window = processed + observer.interval
+                if controlling and processed >= ctrl_next and controller is not None:
+                    stop_run = _edge_single(
+                        controller, system, processed,
+                        max_records_per_core - remaining0, measurement_started,
+                    )
+                    ctrl_next = _controller_stop(controller, processed)
+                    if stop_run:
+                        break
+            if controller is not None:
+                controller.on_finish(EngineCursor(
+                    system, processed, [max_records_per_core - remaining0],
+                    measurement_started,
+                ))
             return processed
 
         iterators = [workload.trace(core_id) for core_id in range(num_cores)]
         remaining = [max_records_per_core] * num_cores
-        heap = [(0.0, core_id) for core_id in range(num_cores)]
+        # Unconsumed remainder of streams that exhausted early — the one
+        # case where ``remaining`` over-counts a core's consumption (see
+        # _edge_from_remaining); only ever touched on the exhaustion path.
+        shortfall = [0] * num_cores
+        if resume is None:
+            heap = [(0.0, core_id) for core_id in range(num_cores)]
+        else:
+            # Resumed heap keys mirror the straight run's invariant: 0.0
+            # before a core's first record, its clock afterwards.
+            heap = []
+            for core_id in range(num_cores):
+                count = self._skip(
+                    iterators[core_id], core_id, resume["consumed_per_core"][core_id]
+                )
+                remaining[core_id] -= count
+                if remaining[core_id] > 0:
+                    key = system.cores[core_id].clock if count > 0 else 0.0
+                    heap.append((key, core_id))
         heapq.heapify(heap)
         heappush = heapq.heappush
         heappop = heapq.heappop
@@ -227,6 +367,7 @@ class SimulationEngine:
             try:
                 gap, addr, is_write = next(iterators[core_id])
             except StopIteration:
+                shortfall[core_id] = remaining[core_id]
                 remaining[core_id] = 0
                 continue
             new_clock = process_cols(core_id, gap, addr, is_write)
@@ -249,4 +390,32 @@ class SimulationEngine:
                 # heapq's API requires a fresh (clock, core) entry; this is
                 # the loop's one deliberate per-record allocation.
                 heappush(heap, (new_clock, core_id))  # repro: allow[hotpath-alloc]
+            if controlling and processed >= ctrl_next and controller is not None:
+                stop_run = _edge_from_remaining(
+                    controller, system, processed, max_records_per_core,
+                    remaining, shortfall, measurement_started,
+                )
+                ctrl_next = _controller_stop(controller, processed)
+                if stop_run:
+                    break
+        if controller is not None:
+            consumed = [
+                max_records_per_core - remaining[core_id] - shortfall[core_id]
+                for core_id in range(num_cores)
+            ]
+            controller.on_finish(
+                EngineCursor(system, processed, consumed, measurement_started)
+            )
         return processed
+
+    @staticmethod
+    def _skip(iterator: Any, core_id: int, count: int) -> int:
+        """Fast-forward a resumed core's stream by its consumed count."""
+        count = int(count)
+        skipped = sum(1 for _ in islice(iterator, count))
+        if skipped != count:
+            raise ValueError(
+                f"cannot resume: core {core_id} stream holds {skipped} records, "
+                f"snapshot consumed {count}; the workload does not match the snapshot"
+            )
+        return count

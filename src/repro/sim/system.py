@@ -130,6 +130,10 @@ class System:
         # ``is None`` check per record and the observer only ever *reads*
         # state — results stay bit-identical either way.
         self._obs_latency_hook = None
+        # Optional per-record watchpoint hook (repro.obs watch); same
+        # contract as the latency hook: None when detached (one check per
+        # record), read-only when attached, so results stay bit-identical.
+        self._obs_watch_hook = None
 
     # ------------------------------------------------------------------ per-record processing
 
@@ -202,6 +206,8 @@ class System:
                 self._controllers_access(now, wb_request)
         if self._notify_cycle is not None:
             self._notify_cycle(int(core.clock))
+        if self._obs_watch_hook is not None:
+            self._obs_watch_hook(core_id, addr, is_write, outcome)
         return core.clock
 
     def _translate(self, core_id: int, addr: int, core: CoreModel) -> MappingInfo:

@@ -1,0 +1,550 @@
+"""Tests for the engine inspector stack: snapshots (capture / serialize /
+restore / resume), watchpoints, the file-mailbox attach protocol, warmup
+checkpointing and the Chrome trace-event export."""
+
+import json
+import multiprocessing
+import os
+import threading
+
+import pytest
+
+from repro.campaign import CampaignSpec, ResultStore, SweepGrid, run_campaign
+from repro.campaign.cli import main as campaign_main
+from repro.dramcache.variants import available_scheme_names
+from repro.obs.cli import main as obs_main
+from repro.obs.events import EventLog, make_event, read_events
+from repro.obs.export_chrome import events_to_trace, timeline_to_trace, write_trace
+from repro.obs.inspect import InspectorClient, InspectorServer
+from repro.obs.snapshot import EngineSnapshot, capture, capture_cursor
+from repro.obs.timeline import TimelineObserver
+from repro.obs.watch import WatchSession, Watchpoint
+from repro.sim.batch import RunController
+from repro.sim.config import SystemConfig, config_from_dict, config_hash
+from repro.sim.engine import ENGINE_MODES, SimulationEngine
+from repro.sim.system import System
+from repro.trace.capture import record_named
+from repro.workloads.registry import get_workload
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data", "golden_hotpath.json")
+
+try:
+    import numpy  # noqa: F401
+    HAVE_NUMPY = True
+except ImportError:
+    HAVE_NUMPY = False
+
+TESTABLE_MODES = [mode for mode in ENGINE_MODES if mode != "numpy" or HAVE_NUMPY]
+
+
+class SnapshotAt(RunController):
+    """Test controller: capture one snapshot at global record ``target``."""
+
+    def __init__(self, target):
+        self.target = target
+        self.snapshot = None
+
+    def next_stop(self, processed):
+        return None if self.snapshot is not None else self.target
+
+    def on_edge(self, cursor):
+        if self.snapshot is None and cursor.processed >= self.target:
+            self.snapshot = capture_cursor(cursor)
+        return False
+
+    def on_finish(self, cursor):
+        return None
+
+
+def build_engine(scheme="banshee", mode="batch", workload="gcc", num_cores=2,
+                 scale=0.05, seed=1, config=None):
+    if config is None:
+        config = SystemConfig.tiny(scheme=scheme, num_cores=num_cores, seed=seed)
+    system = System(config, get_workload(workload, config.num_cores, scale=scale, seed=seed))
+    return SimulationEngine(system, mode=mode)
+
+
+def run_resumed(config, workload, records, warmup, snap_at, mode):
+    """identity_dict of a run interrupted at ``snap_at`` and resumed fresh."""
+    controller = SnapshotAt(snap_at)
+    first = SimulationEngine(System(config, workload), mode=mode)
+    first.run(records, warmup_records_per_core=warmup, controller=controller)
+    assert controller.snapshot is not None
+    # Serialize through JSON so the resumed run exercises the full persisted
+    # form, not live object references.
+    snapshot = EngineSnapshot.from_dict(json.loads(json.dumps(controller.snapshot.to_dict())))
+    resumed = SimulationEngine(System(config, workload), mode=mode)
+    resumed.restore(snapshot)
+    return resumed.run(records, warmup_records_per_core=warmup).identity_dict()
+
+
+# -------------------------------------------------------------- resume identity
+
+
+@pytest.mark.parametrize("mode", TESTABLE_MODES)
+@pytest.mark.parametrize("scheme", ["banshee", "alloy", "unison"])
+def test_resume_at_record_is_bit_identical(scheme, mode):
+    """Interrupt at record N, restore into a fresh system, finish: identical."""
+    config = SystemConfig.tiny(scheme=scheme, num_cores=2, seed=3)
+    workload = get_workload("gcc", 2, scale=0.05, seed=3)
+    straight = SimulationEngine(System(config, workload), mode=mode)
+    expected = straight.run(400, warmup_records_per_core=100).identity_dict()
+    got = run_resumed(config, workload, 400, 100, snap_at=300, mode=mode)
+    assert got == expected
+
+
+@pytest.mark.parametrize("scheme", available_scheme_names())
+def test_resume_every_registered_variant(scheme):
+    """Every registered scheme variant snapshots and resumes bit-identically."""
+    config = SystemConfig.tiny(scheme=scheme, num_cores=2, seed=5)
+    workload = get_workload("mcf", 2, scale=0.05, seed=5)
+    expected = SimulationEngine(System(config, workload)).run(200).identity_dict()
+    got = run_resumed(config, workload, 200, 0, snap_at=150, mode="batch")
+    assert got == expected
+
+
+def load_goldens():
+    with open(GOLDEN_PATH, encoding="utf-8") as fh:
+        return json.load(fh)["cells"]
+
+
+@pytest.mark.parametrize(
+    "cell",
+    [c for c in load_goldens() if c["workload"] == "gcc"],
+    ids=lambda cell: f"{cell['scheme']}-{cell['workload']}",
+)
+def test_resume_matches_pre_refactor_goldens(cell):
+    """A snapshot-interrupted run still lands exactly on the pinned goldens."""
+    config = SystemConfig.scaled_default(
+        scheme=cell["scheme"], num_cores=cell["num_cores"], seed=cell["seed"]
+    )
+    workload = get_workload(
+        cell["workload"], cell["num_cores"], scale=cell["scale"], seed=cell["seed"]
+    )
+    got = run_resumed(
+        config, workload, cell["records_per_core"], 0,
+        snap_at=cell["records_per_core"], mode="batch",
+    )
+    assert json.loads(json.dumps(got)) == cell["result"]
+
+
+def test_resume_trace_workload(tmp_path):
+    """Snapshot/restore works when the workload is a captured-trace replay."""
+    path = str(tmp_path / "gcc.rtrace")
+    record_named("gcc", path, records_per_core=400, num_cores=2, scale=0.05, seed=7)
+    name = f"trace:{path}"
+    config = SystemConfig.tiny(num_cores=2, seed=7)
+    expected = SimulationEngine(
+        System(config, get_workload(name, 2))
+    ).run(400, warmup_records_per_core=100).identity_dict()
+    got = run_resumed(config, get_workload(name, 2), 400, 100, snap_at=350, mode="batch")
+    assert got == expected
+
+
+def test_resume_before_warmup_edge_preserves_measurement():
+    """A snapshot taken inside the warmup window resumes with warmup intact."""
+    config = SystemConfig.tiny(num_cores=2, seed=2)
+    workload = get_workload("gcc", 2, scale=0.05, seed=2)
+    expected = SimulationEngine(System(config, workload)).run(
+        400, warmup_records_per_core=200
+    ).identity_dict()
+    got = run_resumed(config, workload, 400, 200, snap_at=150, mode="batch")
+    assert got == expected
+
+
+# ------------------------------------------------------------ snapshot serde
+
+
+def test_snapshot_dict_and_json_round_trip_exactly(tmp_path):
+    engine = build_engine(scheme="banshee")
+    engine.run(300, warmup_records_per_core=50)
+    system = engine.system
+    snapshot = capture(system, 600, [300, 300], True)
+    payload = snapshot.to_dict()
+    assert json.loads(json.dumps(payload)) == payload
+    assert EngineSnapshot.from_dict(payload).to_dict() == payload
+    path = str(tmp_path / "snap.json")
+    snapshot.save(path)
+    assert EngineSnapshot.load(path).to_dict() == payload
+    summary = snapshot.summary()
+    assert summary["processed"] == 600
+    assert summary["workload"] == "gcc"
+
+
+def test_snapshot_rejects_wrong_kind_version_and_config():
+    engine = build_engine()
+    engine.run(100)
+    snapshot = capture(engine.system, 200, [100, 100], True)
+    bad_kind = dict(snapshot.to_dict(), kind="something-else")
+    with pytest.raises(ValueError, match="not an engine snapshot"):
+        EngineSnapshot.from_dict(bad_kind)
+    bad_version = dict(snapshot.to_dict(), version=999)
+    with pytest.raises(ValueError, match="version"):
+        EngineSnapshot.from_dict(bad_version)
+    other = build_engine(scheme="alloy")
+    with pytest.raises(ValueError, match="different configuration"):
+        other.restore(snapshot)
+    with pytest.raises(ValueError, match="cores"):
+        capture(engine.system, 200, [100], True)
+
+
+def test_config_from_dict_round_trips_presets():
+    for config in (
+        SystemConfig.tiny(scheme="banshee-lru", num_cores=2),
+        SystemConfig.scaled_default(scheme="alloy", num_cores=4),
+        SystemConfig.tiny(scheme="unison", num_cores=1, seed=9),
+    ):
+        rebuilt = config_from_dict(config.to_dict())
+        assert rebuilt == config
+        assert config_hash(rebuilt) == config_hash(config)
+
+
+# ---------------------------------------------------------------- watchpoints
+
+
+def test_watchpoint_parse_and_validation():
+    point = Watchpoint.parse("page:0x12")
+    assert (point.kind, point.value) == ("page", 0x12)
+    assert point.on == ("touch", "fill", "evict", "writeback")
+    assert Watchpoint.parse("addr:4096:touch").on == ("touch",)
+    assert Watchpoint.parse("set:7").on == ("touch", "writeback")
+    assert Watchpoint.parse("page:300:fill|evict").on == ("fill", "evict")
+    with pytest.raises(ValueError, match="unknown watch kind"):
+        Watchpoint.parse("frame:1")
+    with pytest.raises(ValueError, match="bad watch spec"):
+        Watchpoint.parse("page")
+    with pytest.raises(ValueError, match="page-granular"):
+        Watchpoint.parse("set:3:fill")
+    with pytest.raises(ValueError, match="duplicate"):
+        WatchSession([Watchpoint.parse("page:1"), Watchpoint.parse("page:1")])
+
+
+def _watched_run(mode, flush_interval=4096, events=None):
+    engine = build_engine(scheme="banshee", mode=mode, seed=11)
+    watch = WatchSession(
+        [
+            Watchpoint("hot-page", "page", 0x20),
+            Watchpoint("one-addr", "addr", 0x20000, on=["touch"]),
+            Watchpoint("one-set", "set", 3),
+        ],
+        events=events,
+        flush_interval=flush_interval,
+    )
+    watch.attach(engine.system)
+    result = engine.run(400, warmup_records_per_core=100, controller=watch)
+    watch.detach()
+    return result.identity_dict(), watch.hits, watch.summary()
+
+
+def test_watch_hits_identical_across_engine_modes():
+    """Hit payloads are simulation-derived: identical in every engine mode,
+    and watching never perturbs the simulation itself."""
+    baseline = build_engine(scheme="banshee", seed=11).run(
+        400, warmup_records_per_core=100
+    ).identity_dict()
+    reference_hits = None
+    for mode in TESTABLE_MODES:
+        result, hits, summary = _watched_run(mode)
+        assert result == baseline, f"watching changed results in {mode} mode"
+        assert hits, f"expected watch hits in {mode} mode"
+        if reference_hits is None:
+            reference_hits = hits
+        else:
+            assert hits == reference_hits, f"{mode} hits differ from reference"
+        assert summary["hits"] == len(hits)
+
+
+def test_watch_flush_interval_does_not_change_hits(tmp_path):
+    log = EventLog(str(tmp_path / "events.jsonl"))
+    _, coarse, _ = _watched_run("batch")
+    _, fine, _ = _watched_run("batch", flush_interval=32, events=log)
+    assert fine == coarse
+    emitted = [e for e in read_events(log.path) if e["event"] == "watch_hit"]
+    assert [
+        {k: e[k] for k in ("watch", "kind", "record", "core", "addr", "page", "write")}
+        for e in emitted
+    ] == [{k: h[k] for k in ("watch", "kind", "record", "core", "addr", "page", "write")}
+          for h in coarse]
+
+
+def _watch_hits_worker(path):
+    _, hits, _ = _watched_run("batch")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(hits, fh)
+
+
+def test_watch_hits_identical_across_processes(tmp_path):
+    """Hit payloads carry no process state: a worker process reproduces the
+    serial run's hits exactly (only the event-log envelope may differ)."""
+    _, serial_hits, _ = _watched_run("batch")
+    out = str(tmp_path / "hits.json")
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=_watch_hits_worker, args=(out,))
+    proc.start()
+    proc.join(120)
+    assert proc.exitcode == 0
+    with open(out, encoding="utf-8") as fh:
+        worker_hits = json.load(fh)
+    assert worker_hits == serial_hits
+
+
+# ------------------------------------------------------------ attach protocol
+
+
+def test_inspector_pause_step_dump_watch_resume(tmp_path):
+    control = tmp_path / "control"
+    events = EventLog(str(tmp_path / "events.jsonl"))
+    engine = build_engine(scheme="banshee", seed=13)
+    watch = WatchSession(events=events)
+    watch.attach(engine.system)
+    server = InspectorServer(
+        control, watch=watch, events=events, poll_records=100, pause_at=300
+    )
+
+    done = {}
+
+    def simulate():
+        done["result"] = engine.run(600, controller=server)
+        watch.detach()
+
+    thread = threading.Thread(target=simulate)
+    thread.start()
+    try:
+        client = InspectorClient(control, timeout=30.0)
+        state = client.wait_for_status("paused")
+        assert state["processed"] == 300
+        payload = client.request("state")
+        assert payload["ok"] and payload["processed"] == 300
+        assert sum(payload["consumed_per_core"]) == 300
+        reply = client.request("watch", spec="page:0x10")
+        assert reply["ok"]
+        reply = client.request("step", n=100)
+        assert reply["ok"]
+        state = client.wait_for_status("paused")
+        assert state["processed"] == 400
+        dump = client.request("dump")
+        assert dump["ok"] and dump["processed"] == 400
+        listed = client.request("watches")
+        assert listed["ok"] and listed["watchpoints"]
+        assert client.request("unwatch", wid="page:0x10")["removed"]
+        bad = client.request("nonsense")
+        assert not bad["ok"] and "unknown command" in bad["error"]
+        assert client.request("resume")["ok"]
+        client.wait_for_status("finished")
+    finally:
+        thread.join(60)
+    assert not thread.is_alive()
+
+    # The dumped snapshot resumes bit-identically to the inspected run.
+    snapshot = EngineSnapshot.load(dump["path"])
+    assert snapshot.progress["processed"] == 400
+    resumed = build_engine(scheme="banshee", seed=13)
+    resumed.restore(snapshot)
+    assert resumed.run(600).identity_dict() == done["result"].identity_dict()
+
+    names = [e["event"] for e in read_events(events.path)]
+    assert "inspect_pause" in names and "inspect_resume" in names
+    assert "snapshot_saved" in names and "watch_set" in names and "watch_clear" in names
+
+
+def test_inspector_quit_stops_run_early(tmp_path):
+    control = tmp_path / "control"
+    engine = build_engine(seed=17)
+    server = InspectorServer(control, poll_records=100, pause_at=200)
+    done = {}
+
+    def simulate():
+        done["result"] = engine.run(2000, controller=server)
+
+    thread = threading.Thread(target=simulate)
+    thread.start()
+    try:
+        client = InspectorClient(control, timeout=30.0)
+        client.wait_for_status("paused")
+        assert client.request("quit")["ok"]
+    finally:
+        thread.join(60)
+    assert not thread.is_alive()
+    assert engine.records_processed == 200
+
+
+# --------------------------------------------------------------- chrome export
+
+
+def test_timeline_to_trace_structure(tmp_path):
+    events = EventLog(str(tmp_path / "events.jsonl"))
+    engine = build_engine(scheme="banshee", seed=19)
+    watch = WatchSession([Watchpoint("hot", "page", 0x20)], events=events)
+    watch.attach(engine.system)
+    observer = TimelineObserver(100)
+    result = engine.run(
+        600, warmup_records_per_core=200, observer=observer,
+        events=events, controller=watch,
+    )
+    watch.detach()
+    trace = timeline_to_trace(result.timeline, events=read_events(events.path))
+    assert set(trace) == {"traceEvents", "displayTimeUnit"}
+    rows = trace["traceEvents"]
+    slices = [e for e in rows if e["ph"] == "X"]
+    counters = [e for e in rows if e["ph"] == "C"]
+    instants = [e for e in rows if e["ph"] == "i"]
+    windows = result.timeline["windows"]
+    assert len(slices) == len(windows)
+    assert len(counters) == 3 * len(windows)
+    assert {s["name"] for s in slices} == {"warmup", "measure"}
+    # Record-count timebase: slice starts line up with window boundaries.
+    assert [s["ts"] for s in slices] == [w["start_record"] for w in windows]
+    marks = {e["name"] for e in instants}
+    assert "warmup_end" in marks
+    assert any(name.startswith("watch:hot:") for name in marks)
+    count = write_trace(trace, str(tmp_path / "trace.json"))
+    assert count == len(rows)
+    with open(tmp_path / "trace.json", encoding="utf-8") as fh:
+        assert json.load(fh)["traceEvents"]
+
+
+def test_events_to_trace_pairs_spans(tmp_path):
+    records = [
+        make_event("run_start", workload="gcc", scheme="banshee"),
+        make_event("cell_start", cell="banshee/gcc/1"),
+        make_event("cell_finish", cell="banshee/gcc/1"),
+        make_event("run_end", workload="gcc"),
+        make_event("cell_start", cell="banshee/gcc/2"),  # left unclosed
+    ]
+    trace = events_to_trace(records)
+    slices = {e["name"]: e for e in trace["traceEvents"] if e["ph"] == "X"}
+    assert "run:gcc" in slices
+    assert any(name.startswith("cell:") for name in slices)
+    unclosed = [e for e in trace["traceEvents"] if e["ph"] == "i" and "(unclosed)" in e["name"]]
+    assert len(unclosed) == 1
+
+
+def test_obs_cli_export_chrome(tmp_path):
+    events = EventLog(str(tmp_path / "events.jsonl"))
+    events.emit("run_start", workload="gcc", scheme="banshee")
+    events.emit("run_end", workload="gcc")
+    out = str(tmp_path / "trace.json")
+    stream = __import__("io").StringIO()
+    code = obs_main(["export-chrome", "--events", events.path, "--output", out], stream=stream)
+    assert code == 0
+    with open(out, encoding="utf-8") as fh:
+        assert fh.read().startswith("{")
+
+
+# ---------------------------------------------------------- warmup checkpoints
+
+
+def _checkpoint_spec(name, records=600, timeline_interval=None, timeline_bounds=None):
+    return CampaignSpec(
+        name=name,
+        grids=[SweepGrid(schemes=["banshee", "alloy"], workloads=["gcc"], seeds=[1])],
+        records_per_core=records,
+        num_cores=2,
+        preset="tiny",
+        warmup_fraction=0.5,
+        timeline_interval=timeline_interval,
+        timeline_bounds=timeline_bounds,
+    )
+
+
+def _identities(report):
+    out = {}
+    for outcome in report.outcomes:
+        assert outcome.ok, outcome.error
+        out[(outcome.cell.label, outcome.cell.workload, outcome.cell.seed)] = (
+            outcome.result.identity_dict()
+        )
+    return out
+
+
+def test_checkpoint_warmup_bit_identical_and_reused(tmp_path):
+    reference = _identities(run_campaign(_checkpoint_spec("ref")))
+
+    store = ResultStore(str(tmp_path / "store"))
+    first = run_campaign(_checkpoint_spec("ckpt"), store=store, checkpoint_warmup=True)
+    assert _identities(first) == reference
+    ckpt_dir = tmp_path / "store" / "obs" / "checkpoints"
+    checkpoints = sorted(ckpt_dir.glob("*.json"))
+    assert len(checkpoints) == 2  # one per (config, workload, warmup) prefix
+
+    # Force a re-run: every cell restores its checkpoint, results unchanged.
+    second = run_campaign(
+        _checkpoint_spec("ckpt"), store=store, checkpoint_warmup=True, force=True
+    )
+    assert _identities(second) == reference
+    assert sorted(ckpt_dir.glob("*.json")) == checkpoints
+
+    # A longer run shares the same warmup-prefix checkpoints only when the
+    # warmup length matches; 800 records at 0.5 warmup is a new prefix.
+    run_campaign(_checkpoint_spec("longer", records=800), store=store,
+                 checkpoint_warmup=True)
+    assert len(sorted(ckpt_dir.glob("*.json"))) == 4
+
+
+def test_timeline_cells_bypass_checkpointing(tmp_path):
+    """Timeline cells must simulate their warmup (the timeline covers it)."""
+    store = ResultStore(str(tmp_path / "store"))
+    report = run_campaign(
+        _checkpoint_spec("tl", timeline_interval=100, timeline_bounds=[50.0, 200.0]),
+        store=store, checkpoint_warmup=True,
+    )
+    assert not (tmp_path / "store" / "obs" / "checkpoints").exists()
+    for outcome in report.outcomes:
+        assert outcome.ok
+        phases = {w["phase"] for w in outcome.result.timeline["windows"]}
+        assert phases == {"warmup", "measure"}
+
+
+def test_timeline_bounds_extend_cell_key_only_when_set():
+    plain = _checkpoint_spec("keys", timeline_interval=100)
+    bounded = _checkpoint_spec("keys", timeline_interval=100, timeline_bounds=[50.0, 200.0])
+    for cell_plain, cell_bounded in zip(plain.cells(), bounded.cells()):
+        assert cell_plain.key() != cell_bounded.key()
+        assert cell_bounded.meta()["timeline_bounds"] == [50.0, 200.0]
+        assert "timeline_bounds" not in cell_plain.meta()
+    with pytest.raises(ValueError, match="timeline_interval"):
+        _checkpoint_spec("bad", timeline_bounds=[50.0])
+    with pytest.raises(ValueError, match="strictly increasing"):
+        _checkpoint_spec("bad", timeline_interval=100, timeline_bounds=[200.0, 50.0])
+
+
+def test_campaign_cli_checkpoint_warmup_and_stale_after(tmp_path):
+    import io
+    import time
+
+    store_dir = str(tmp_path / "store")
+    stream = io.StringIO()
+    code = campaign_main(
+        ["run", "--name", "smoke", "--schemes", "banshee", "--workloads", "gcc",
+         "--seeds", "1", "--records", "400", "--cores", "2", "--preset", "tiny",
+         "--warmup", "0.5", "--store", store_dir, "--checkpoint-warmup"],
+        stream=stream,
+    )
+    assert code == 0
+    assert list((tmp_path / "store" / "obs" / "checkpoints").glob("*.json"))
+
+    # Fabricate a stale heartbeat; status --live must list the worker.
+    obs_dir = tmp_path / "store" / "obs"
+    beat = {"worker": "worker-9", "pid": 1, "state": "running",
+            "updated_ts": time.time() - 3600, "started_ts": time.time() - 3700}
+    hb_dir = obs_dir / "heartbeats"
+    hb_dir.mkdir(parents=True, exist_ok=True)
+    (hb_dir / "worker-9.hb.json").write_text(json.dumps(beat), encoding="utf-8")
+    # Strip campaign_end so the campaign reads as live.
+    events_path = obs_dir / "events.jsonl"
+    lines = [line for line in events_path.read_text(encoding="utf-8").splitlines()
+             if '"campaign_end"' not in line]
+    events_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    stream = io.StringIO()
+    code = campaign_main(["status", "--store", store_dir, "--live"], stream=stream)
+    assert code == 0
+    assert "worker-9" in stream.getvalue()
+
+    stream = io.StringIO()
+    code = campaign_main(
+        ["status", "--store", store_dir, "--live", "--stale-after", "7200"],
+        stream=stream,
+    )
+    assert code == 0
+    assert "stale workers" not in stream.getvalue()
