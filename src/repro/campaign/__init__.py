@@ -5,8 +5,10 @@ matrices behind the paper's figures into first-class objects:
 
 * :class:`~repro.campaign.spec.CampaignSpec` / :class:`~repro.campaign.spec.SweepGrid`
   declare a sweep and expand it into simulation cells;
-* :class:`~repro.campaign.executor.ParallelExecutor` fans cells out across
-  worker processes with per-cell error capture;
+* :class:`~repro.campaign.supervisor.SupervisedExecutor` (the default
+  parallel path) fans cells out across directly-managed worker processes
+  with leases, retry/backoff, quarantine and mid-cell snapshot resume;
+  :class:`~repro.campaign.executor.ParallelExecutor` is the plain pool;
 * :class:`~repro.campaign.store.ResultStore` persists every result on disk
   under content-hashed keys, making campaigns resumable and letting the
   figure functions in :mod:`repro.experiments.figures` rebuild reports
@@ -20,15 +22,23 @@ from repro.campaign.executor import CellOutcome, ParallelExecutor, SerialExecuto
 from repro.campaign.export import export_csv, export_json, result_rows
 from repro.campaign.spec import CampaignCell, CampaignSpec, SweepGrid
 from repro.campaign.store import ResultStore
+from repro.campaign.supervisor import (
+    CampaignInterrupted,
+    SupervisedExecutor,
+    SupervisorConfig,
+)
 
 __all__ = [
     "CampaignCell",
+    "CampaignInterrupted",
     "CampaignReport",
     "CampaignSpec",
     "CellOutcome",
     "ParallelExecutor",
     "ResultStore",
     "SerialExecutor",
+    "SupervisedExecutor",
+    "SupervisorConfig",
     "SweepGrid",
     "execute_cell",
     "export_csv",

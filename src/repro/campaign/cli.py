@@ -21,17 +21,29 @@ import json
 import sys
 import time
 from pathlib import Path
-from typing import List, Optional, TextIO
+from typing import Any, Dict, List, Optional, TextIO
 
+from repro import faults
 from repro.campaign.driver import CampaignReport, run_campaign
 from repro.campaign.executor import CellOutcome
 from repro.campaign.export import export_csv, export_json
 from repro.campaign.spec import PRESETS, CampaignSpec, SweepGrid
 from repro.campaign.store import ResultStore
+from repro.campaign.supervisor import (
+    SupervisorConfig,
+    install_signal_handlers,
+    restore_signal_handlers,
+)
 from repro.dramcache.variants import available_scheme_names, describe_variants
 from repro.experiments.report import format_table
 from repro.obs.events import ObsSink, read_events
-from repro.obs.heartbeat import STALE_AFTER_SECONDS, is_stale, read_heartbeats
+from repro.obs.heartbeat import STALE_AFTER_SECONDS, is_stale, pid_alive, read_heartbeats
+
+#: Default mid-cell auto-snapshot interval (processed records).  Small
+#: enough that a killed overnight campaign rarely loses more than a couple
+#: of minutes of work per cell, large enough that snapshot writes never
+#: show up in a profile; ``--snapshot-every 0`` disables.
+DEFAULT_SNAPSHOT_EVERY = 100_000
 
 
 def _optional_int(text: str) -> Optional[int]:
@@ -102,6 +114,32 @@ def build_parser() -> argparse.ArgumentParser:
                                  "it for cells sharing (config, workload, warmup)")
     run_parser.add_argument("--no-obs", action="store_true",
                             help="disable the event log / heartbeats under <store>/obs")
+    run_parser.add_argument("--no-supervise", action="store_true",
+                            help="with --workers >1: use the plain process pool instead "
+                                 "of the supervised executor (no retry/quarantine)")
+    run_parser.add_argument("--retries", type=int, default=None, metavar="N",
+                            help="supervised mode: give up on a cell after N failed "
+                                 "attempts (worker deaths/timeouts; default 3)")
+    run_parser.add_argument("--backoff", type=float, default=None, metavar="SECONDS",
+                            help="supervised mode: base retry delay, doubled per failure "
+                                 "(default 0.5s, capped at 30s)")
+    run_parser.add_argument("--cell-timeout", type=float, default=None, metavar="SECONDS",
+                            help="revoke and retry any cell attempt running longer than "
+                                 "SECONDS (default: no deadline)")
+    run_parser.add_argument("--stale-after", type=float, default=None, metavar="SECONDS",
+                            help="supervised mode: revoke a lease whose worker heartbeat "
+                                 "has not advanced in SECONDS (default %.0f)"
+                                 % STALE_AFTER_SECONDS)
+    run_parser.add_argument("--snapshot-every", type=int, default=DEFAULT_SNAPSHOT_EVERY,
+                            metavar="RECORDS",
+                            help="auto-snapshot long cells every RECORDS processed records "
+                                 "under <store>/obs/autosnapshots so a killed campaign "
+                                 "resumes mid-cell (default %d; 0 disables)"
+                                 % DEFAULT_SNAPSHOT_EVERY)
+    run_parser.add_argument("--inject", metavar="PLAN",
+                            help="fault-injection plan for robustness testing, e.g. "
+                                 "'kill@cell=3' or 'hang@records=10k' "
+                                 "(see repro.faults; fires once per trigger, globally)")
 
     status_parser = sub.add_parser("status", help="summarise a store directory")
     status_parser.add_argument("--store", required=True)
@@ -153,6 +191,7 @@ def spec_from_args(args: argparse.Namespace) -> CampaignSpec:
         "warmup_fraction": args.warmup,
         "timeline_interval": getattr(args, "timeline", None),
         "timeline_bounds": getattr(args, "timeline_bounds", None),
+        "cell_timeout_seconds": getattr(args, "cell_timeout", None),
     }
     for name, value in spec_fields.items():
         if value is not None:
@@ -217,10 +256,27 @@ def _report_table(report: CampaignReport) -> str:
     return format_table(headers, rows, title=f"Campaign '{report.spec.name}'")
 
 
+def _supervisor_config(args: argparse.Namespace) -> Optional[SupervisorConfig]:
+    """Build a :class:`SupervisorConfig` from CLI overrides (None = defaults)."""
+    overrides: Dict[str, Any] = {}
+    if args.retries is not None:
+        overrides["max_attempts"] = args.retries
+    if args.backoff is not None:
+        overrides["backoff_base"] = args.backoff
+    if args.stale_after is not None:
+        overrides["stale_after"] = args.stale_after
+    return SupervisorConfig(**overrides) if overrides else None
+
+
 def cmd_run(args: argparse.Namespace, stream: TextIO) -> int:
     spec = spec_from_args(args)
     store = ResultStore(args.store)
     obs = None if args.no_obs else ObsSink.for_directory(Path(args.store) / "obs")
+    if args.inject:
+        # Deterministic chaos: the plan rides the environment into workers
+        # and fire-once claims live under the store's obs directory.
+        faults.install(args.inject, state_dir=str(Path(args.store) / "obs" / "faults"))
+        print(f"fault injection active: {args.inject}", file=stream)
     start = time.perf_counter()
     progress = None if args.quiet else (
         lambda d, t, o: _print_progress(d, t, o, stream, start=start)
@@ -234,9 +290,23 @@ def cmd_run(args: argparse.Namespace, stream: TextIO) -> int:
     if obs is not None:
         print(f"obs: {obs.events_path} (watch with: status --store {args.store} --live)",
               file=stream)
-    report = run_campaign(spec, store=store, workers=args.workers, progress=progress,
-                          force=args.force, obs=obs,
-                          checkpoint_warmup=args.checkpoint_warmup)
+    previous_handlers = install_signal_handlers()
+    try:
+        report = run_campaign(spec, store=store, workers=args.workers, progress=progress,
+                              force=args.force, obs=obs,
+                              checkpoint_warmup=args.checkpoint_warmup,
+                              supervisor=_supervisor_config(args),
+                              supervise=not args.no_supervise,
+                              snapshot_every=args.snapshot_every or None)
+    except KeyboardInterrupt:
+        # Serial path interrupts land here (the supervised executor converts
+        # its own cleanup into a report with interrupted=True); completed
+        # cells are already persisted, so resuming is just re-running.
+        print("\ninterrupted — completed cells are persisted; re-run to resume",
+              file=stream)
+        return 130
+    finally:
+        restore_signal_handlers(previous_handlers)
     counts = report.counts()
     print(file=stream)
     print(_report_table(report), file=stream)
@@ -248,6 +318,10 @@ def cmd_run(args: argparse.Namespace, stream: TextIO) -> int:
     )
     for outcome in report.errors:
         print(f"\nERROR in {outcome.cell.describe()}:\n{outcome.error}", file=stream)
+    if report.interrupted:
+        print("\ninterrupted — completed cells are persisted; re-run to resume",
+              file=stream)
+        return 130
     return 1 if report.errors else 0
 
 
@@ -262,9 +336,10 @@ def _print_live(obs_dir: Path, stream: TextIO,
         if record.get("event") == "campaign_start":
             last_start = index
     campaign = records[last_start] if last_start >= 0 else None
-    finished = errors = 0
+    finished = errors = retries = quarantined = revoked = 0
     walls: List[float] = []
     ended = False
+    end_status = None
     for record in records[last_start + 1:]:
         event = record.get("event")
         if event == "cell_finish":
@@ -272,10 +347,20 @@ def _print_live(obs_dir: Path, stream: TextIO,
             walls.append(float(record.get("wall_seconds", 0.0)))
         elif event == "cell_error":
             errors += 1
+        elif event == "cell_retry":
+            retries += 1
+        elif event == "cell_quarantined":
+            quarantined += 1
+        elif event == "lease_revoked":
+            revoked += 1
         elif event == "campaign_end":
             ended = True
+            end_status = record.get("status")
 
-    beats = read_heartbeats(obs_dir / "heartbeats")
+    # A heartbeat whose PID is gone is a dead worker's leftover, not a live
+    # one — a SIGKILLed campaign must not show ghost workers forever.
+    beats = [beat for beat in read_heartbeats(obs_dir / "heartbeats")
+             if pid_alive(beat.get("pid"))]
     now = time.time()
     live = [beat for beat in beats if not is_stale(beat, now=now, stale_after=stale_after)]
     stale = [beat for beat in beats if is_stale(beat, now=now, stale_after=stale_after)]
@@ -287,11 +372,14 @@ def _print_live(obs_dir: Path, stream: TextIO,
         line = (f"[{stamp}] campaign '{campaign.get('name')}': "
                 f"{finished}/{pending} done, {errors} errors, {remaining} remaining")
         if ended:
-            line += " — finished"
+            line += " — finished" if end_status in (None, "completed") else f" — {end_status}"
         elif walls and remaining:
             eta = remaining * (sum(walls) / len(walls)) / max(1, len(live))
             line += f", eta {_format_duration(eta)}"
         print(line, file=stream)
+        if revoked or retries or quarantined:
+            print(f"recoveries: {revoked} lease(s) revoked, {retries} retried, "
+                  f"{quarantined} quarantined", file=stream)
     else:
         print(f"[{stamp}] no campaign_start event in {events_path}", file=stream)
 
@@ -326,7 +414,13 @@ def cmd_status(args: argparse.Namespace, stream: TextIO) -> int:
     print(f"store: {info['path']}", file=stream)
     print(f"cells: {info['cells']}", file=stream)
     if info["errors"]:
-        print(f"errors: {info['errors']} (retried on the next run)", file=stream)
+        suffix = ""
+        if info.get("poisoned"):
+            suffix = f", {info['poisoned']} quarantined as poisoned"
+        print(f"errors: {info['errors']} (retried on the next run{suffix})", file=stream)
+    if info.get("corrupt_lines"):
+        print(f"warning: {info['corrupt_lines']} unparseable store line(s) skipped "
+              "(crash mid-append?)", file=stream)
     if info["by_scheme"] or info["errors_by_scheme"]:
         schemes = sorted(set(info["by_scheme"]) | set(info["errors_by_scheme"]))
         rows = [[scheme, info["by_scheme"].get(scheme, 0),

@@ -10,9 +10,10 @@ happened to share.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 from repro.campaign.executor import (
     CellOutcome,
@@ -22,6 +23,7 @@ from repro.campaign.executor import (
 )
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
+from repro.campaign.supervisor import SupervisedExecutor, SupervisorConfig
 
 if TYPE_CHECKING:
     from repro.obs.events import ObsSink
@@ -33,6 +35,9 @@ class CampaignReport:
 
     spec: CampaignSpec
     outcomes: List[CellOutcome] = field(default_factory=list)
+    #: The run was cut short (SIGINT/SIGTERM); ``outcomes`` holds what
+    #: completed before the interrupt and the CLI exits nonzero.
+    interrupted: bool = False
 
     @property
     def total(self) -> int:
@@ -88,6 +93,9 @@ def run_campaign(
     force: bool = False,
     obs: Optional["ObsSink"] = None,
     checkpoint_warmup: bool = False,
+    supervisor: Optional[SupervisorConfig] = None,
+    supervise: bool = True,
+    snapshot_every: Optional[int] = None,
 ) -> CampaignReport:
     """Run (or resume) a campaign.
 
@@ -109,6 +117,21 @@ def run_campaign(
             cells (and later campaigns against the same store) restore it
             and simulate only the measured portion.  Bit-identical results;
             requires a ``store``; cells with a timeline attached bypass it.
+        supervisor: retry/backoff/quarantine knobs for the supervised
+            parallel path (``None`` uses :class:`SupervisorConfig` defaults;
+            ``spec.cell_timeout_seconds`` fills an unset ``cell_timeout``).
+        supervise: ``workers > 1`` runs under :class:`SupervisedExecutor`
+            by default — dead or wedged workers are detected, their cells
+            retried, and repeat offenders quarantined.  ``False`` falls back
+            to the plain :class:`ParallelExecutor` pool (no recovery).
+        snapshot_every: emit a mid-cell auto-snapshot every N processed
+            records into ``<store>/obs/autosnapshots`` so a killed campaign
+            resumes mid-cell; needs a ``store``, ``None`` disables.
+
+    A SIGINT/SIGTERM mid-run does not lose completed work: every finished
+    cell is already persisted, the report comes back with
+    ``interrupted=True`` holding those outcomes, and the event log gets a
+    ``campaign_end`` with ``status="interrupted"``.
 
     Cells that expand to the same content key (an axis value equal to the
     preset default, or overlapping grids) are simulated once; the extra
@@ -141,10 +164,22 @@ def run_campaign(
             first_pending_by_key[key] = index
             pending.append(index)
 
-    executor = ParallelExecutor(workers) if workers > 1 else SerialExecutor()
+    executor: Union[SerialExecutor, ParallelExecutor, SupervisedExecutor]
+    if workers > 1 and supervise:
+        config = supervisor if supervisor is not None else SupervisorConfig()
+        if config.cell_timeout is None and spec.cell_timeout_seconds is not None:
+            config = dataclasses.replace(config, cell_timeout=spec.cell_timeout_seconds)
+        executor = SupervisedExecutor(workers, config=config)
+    elif workers > 1:
+        executor = ParallelExecutor(workers)
+    else:
+        executor = SerialExecutor()
     checkpoint_dir = None
+    snapshot_dir = None
     if checkpoint_warmup and store is not None:
         checkpoint_dir = str(Path(store.directory) / "obs" / "checkpoints")
+    if snapshot_every is not None and store is not None:
+        snapshot_dir = str(Path(store.directory) / "obs" / "autosnapshots")
     events = obs.event_log() if obs is not None else None
     if events is not None:
         events.emit(
@@ -165,19 +200,32 @@ def run_campaign(
             store.put(outcome.key, outcome.result, meta=outcome.cell.meta())
         elif store is not None and outcome.error is not None:
             # Failures persist too: status reports them, the next run
-            # retries them (the store reads errored keys as absent).
-            store.put_error(outcome.key, outcome.error, meta=outcome.cell.meta())
+            # retries them (the store reads errored keys as absent) —
+            # except quarantined cells, which are flagged ``poisoned``.
+            store.put_error(outcome.key, outcome.error, meta=outcome.cell.meta(),
+                            poisoned=outcome.quarantined)
+        # Record immediately (not just after the batch) so an interrupt
+        # mid-campaign still reports everything that finished.
+        outcomes_by_index[first_pending_by_key[outcome.key]] = outcome
         if progress is not None:
             progress(done, total, outcome)
 
-    executed = executor.run([cells[i] for i in pending], progress=on_progress, obs=obs,
-                            checkpoint_dir=checkpoint_dir)
-    if len(executed) != len(pending):
-        raise RuntimeError(
-            f"executor returned {len(executed)} outcomes for {len(pending)} cells"
-        )
-    for index, outcome in zip(pending, executed):
-        outcomes_by_index[index] = outcome
+    interrupted = False
+    try:
+        executed = executor.run([cells[i] for i in pending], progress=on_progress, obs=obs,
+                                checkpoint_dir=checkpoint_dir,
+                                snapshot_dir=snapshot_dir, snapshot_every=snapshot_every)
+    except KeyboardInterrupt:
+        # Completed cells were persisted and recorded by on_progress; the
+        # in-flight ones resume from store (and mid-cell snapshots) next run.
+        interrupted = True
+    else:
+        if len(executed) != len(pending):
+            raise RuntimeError(
+                f"executor returned {len(executed)} outcomes for {len(pending)} cells"
+            )
+        for index, outcome in zip(pending, executed):
+            outcomes_by_index[index] = outcome
     for index in duplicates:
         cell = cells[index]
         key = keys[index]
@@ -190,8 +238,10 @@ def run_campaign(
         if progress is not None:
             progress(done, total, outcome)
 
-    report = CampaignReport(spec=spec)
+    report = CampaignReport(spec=spec, interrupted=interrupted)
     report.outcomes = [outcomes_by_index[i] for i in range(total) if i in outcomes_by_index]
     if events is not None:
-        events.emit("campaign_end", name=spec.name, **report.counts())
+        events.emit("campaign_end", name=spec.name,
+                    status="interrupted" if interrupted else "completed",
+                    **report.counts())
     return report

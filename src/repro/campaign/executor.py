@@ -30,14 +30,47 @@ import traceback
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.campaign.spec import CampaignCell
 from repro.experiments.runner import run_simulation
 from repro.obs.events import ObsSink
-from repro.obs.heartbeat import HeartbeatWriter
+from repro.obs.heartbeat import HeartbeatWriter, sweep_dead
+from repro.sim.batch import RunController
 from repro.sim.results import SimulationResults
 
 #: progress callback: (completed_count, total_count, outcome)
 ProgressFn = Callable[[int, int, "CellOutcome"], None]
+
+#: Default processed-record interval between mid-cell heartbeat refreshes.
+#: Chosen so a healthy engine beats several times a second while a wedged
+#: one goes quiet — what the supervisor's staleness check keys off.
+BEAT_RECORDS = 20_000
+
+
+class _ProgressBeat(RunController):
+    """Refreshes the worker heartbeat at engine edges (progress-based).
+
+    Deliberately not a wall-clock timer thread: the heartbeat only
+    advances when the simulation does, so a wedged worker goes stale even
+    though its process is alive.
+    """
+
+    def __init__(self, heartbeat: HeartbeatWriter, every: int,
+                 cell: str, key: str) -> None:
+        self.heartbeat = heartbeat
+        self.every = every
+        self.cell = cell
+        self.key = key
+
+    def next_stop(self, processed: int) -> Optional[int]:
+        return processed + (self.every - processed % self.every or self.every)
+
+    def on_edge(self, cursor: object) -> bool:
+        self.heartbeat.beat(state="running", cell=self.cell, key=self.key)
+        return False
+
+    def on_finish(self, cursor: object) -> None:
+        return None
 
 
 @dataclass
@@ -50,6 +83,11 @@ class CellOutcome:
     error: Optional[str] = None
     wall_seconds: float = 0.0
     from_store: bool = False
+    #: The supervisor exhausted this cell's retry budget (stored as a
+    #: ``poisoned`` error record so one bad config cannot sink the run).
+    quarantined: bool = False
+    #: 1-based attempt number that produced this outcome (supervisor path).
+    attempt: int = 1
 
     @property
     def ok(self) -> bool:
@@ -62,6 +100,10 @@ def execute_cell(
     worker: Optional[str] = None,
     heartbeat: Optional[HeartbeatWriter] = None,
     checkpoint_dir: Optional[str] = None,
+    cell_index: Optional[int] = None,
+    snapshot_dir: Optional[str] = None,
+    snapshot_every: Optional[int] = None,
+    beat_records: int = BEAT_RECORDS,
 ) -> CellOutcome:
     """Run one cell, capturing any exception as an error outcome.
 
@@ -73,6 +115,13 @@ def execute_cell(
     :func:`repro.experiments.runner.run_simulation`); concurrent workers
     writing the same checkpoint are safe — snapshot saves are atomic and
     the content is identical.
+
+    ``cell_index`` is the cell's position in the campaign's pending order —
+    the coordinate fault plans (:mod:`repro.faults`) address cells by.
+    ``snapshot_dir``/``snapshot_every`` enable mid-cell auto-snapshots (the
+    crash-resume mechanism; see :func:`run_simulation`), and a heartbeat is
+    refreshed every ``beat_records`` processed records so the supervisor
+    can tell a slow worker from a wedged one.
     """
     start = time.perf_counter()
     key = cell.key()
@@ -88,7 +137,12 @@ def execute_cell(
                     label=cell.label, scheme=cell.scheme,
                     workload=cell.workload, seed=cell.seed)
         events.emit("heartbeat", worker=worker, state="running", key=key)
+    faults.set_current_cell(cell_index)
+    controller: Optional[RunController] = None
+    if heartbeat is not None and beat_records > 0:
+        controller = _ProgressBeat(heartbeat, beat_records, describe, key)
     try:
+        faults.fire("cell", cell=cell_index)
         result = run_simulation(
             cell.config,
             workload_name=cell.workload,
@@ -101,6 +155,9 @@ def execute_cell(
             timeline_bounds=cell.timeline_bounds,
             events=events,
             checkpoint_dir=checkpoint_dir,
+            snapshot_dir=snapshot_dir,
+            snapshot_every=snapshot_every,
+            controller=controller,
         )
         wall = time.perf_counter() - start
         if heartbeat is not None:
@@ -131,16 +188,18 @@ _WORKER_HEARTBEAT = None
 
 
 def _worker(
-    payload: Tuple[int, CampaignCell, Optional[ObsSink], Optional[str]]
+    payload: Tuple[int, CampaignCell, Optional[ObsSink], Optional[str],
+                   Optional[str], Optional[int]]
 ) -> Tuple[int, str, Optional[dict], Optional[str], float]:
     """Pool worker: returns the result as a plain dict so transport is explicit."""
     global _WORKER_HEARTBEAT
-    index, cell, obs, checkpoint_dir = payload
+    index, cell, obs, checkpoint_dir, snapshot_dir, snapshot_every = payload
     worker = f"worker-{os.getpid()}"
     if obs is not None and _WORKER_HEARTBEAT is None:
         _WORKER_HEARTBEAT = obs.heartbeat_writer(worker)
     outcome = execute_cell(cell, obs=obs, worker=worker, heartbeat=_WORKER_HEARTBEAT,
-                           checkpoint_dir=checkpoint_dir)
+                           checkpoint_dir=checkpoint_dir, cell_index=index,
+                           snapshot_dir=snapshot_dir, snapshot_every=snapshot_every)
     result_dict = outcome.result.to_dict() if outcome.result is not None else None
     return (index, outcome.key, result_dict, outcome.error, outcome.wall_seconds)
 
@@ -154,15 +213,22 @@ class SerialExecutor:
         progress: Optional[ProgressFn] = None,
         obs: Optional[ObsSink] = None,
         checkpoint_dir: Optional[str] = None,
+        snapshot_dir: Optional[str] = None,
+        snapshot_every: Optional[int] = None,
     ) -> List[CellOutcome]:
         heartbeat = obs.heartbeat_writer("serial") if obs is not None else None
         outcomes: List[CellOutcome] = []
-        for index, cell in enumerate(cells):
-            outcome = execute_cell(cell, obs=obs, worker="serial", heartbeat=heartbeat,
-                                   checkpoint_dir=checkpoint_dir)
-            outcomes.append(outcome)
-            if progress is not None:
-                progress(index + 1, len(cells), outcome)
+        try:
+            for index, cell in enumerate(cells):
+                outcome = execute_cell(cell, obs=obs, worker="serial", heartbeat=heartbeat,
+                                       checkpoint_dir=checkpoint_dir, cell_index=index,
+                                       snapshot_dir=snapshot_dir, snapshot_every=snapshot_every)
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(index + 1, len(cells), outcome)
+        finally:
+            if heartbeat is not None:
+                heartbeat.clear()
         return outcomes
 
 
@@ -187,20 +253,30 @@ class ParallelExecutor:
         progress: Optional[ProgressFn] = None,
         obs: Optional[ObsSink] = None,
         checkpoint_dir: Optional[str] = None,
+        snapshot_dir: Optional[str] = None,
+        snapshot_every: Optional[int] = None,
     ) -> List[CellOutcome]:
         if not cells:
             return []
         context = multiprocessing.get_context(self.mp_start_method)
         outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
-        payloads = [(index, cell, obs, checkpoint_dir) for index, cell in enumerate(cells)]
+        payloads = [(index, cell, obs, checkpoint_dir, snapshot_dir, snapshot_every)
+                    for index, cell in enumerate(cells)]
         done = 0
-        with context.Pool(processes=self.workers) as pool:
-            for index, key, result_dict, error, wall in pool.imap_unordered(_worker, payloads, chunksize=1):
-                cell = cells[index]
-                result = SimulationResults.from_dict(result_dict) if result_dict is not None else None
-                outcome = CellOutcome(cell, key, result, error=error, wall_seconds=wall)
-                outcomes[index] = outcome
-                done += 1
-                if progress is not None:
-                    progress(done, len(cells), outcome)
+        try:
+            with context.Pool(processes=self.workers) as pool:
+                for index, key, result_dict, error, wall in pool.imap_unordered(_worker, payloads, chunksize=1):
+                    cell = cells[index]
+                    result = SimulationResults.from_dict(result_dict) if result_dict is not None else None
+                    outcome = CellOutcome(cell, key, result, error=error, wall_seconds=wall)
+                    outcomes[index] = outcome
+                    done += 1
+                    if progress is not None:
+                        progress(done, len(cells), outcome)
+        finally:
+            # Pool workers cannot hook their own exit; drop the heartbeat
+            # files their (now gone) PIDs left so finished campaigns do not
+            # show ghost workers in ``status --live``.
+            if obs is not None and obs.heartbeat_dir:
+                sweep_dead(obs.heartbeat_dir)
         return [outcome for outcome in outcomes if outcome is not None]

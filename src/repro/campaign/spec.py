@@ -196,6 +196,9 @@ class CampaignSpec:
     timeline_interval: Optional[int] = None
     #: Timeline latency-histogram bucket edges (None keeps the defaults).
     timeline_bounds: Optional[List[float]] = None
+    #: Per-cell wall-clock budget for the supervised executor: a lease past
+    #: this deadline is revoked and the cell retried (None = no deadline).
+    cell_timeout_seconds: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -215,6 +218,10 @@ class CampaignSpec:
             self.timeline_bounds = bounds
         if not 0.0 <= self.warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
+        if self.cell_timeout_seconds is not None:
+            self.cell_timeout_seconds = float(self.cell_timeout_seconds)
+            if self.cell_timeout_seconds <= 0:
+                raise ValueError("cell_timeout_seconds must be positive (or None)")
         if not self.grids:
             raise ValueError("campaign needs at least one sweep grid")
         self.grids = [
@@ -296,6 +303,7 @@ class CampaignSpec:
             "preset": self.preset,
             "timeline_interval": self.timeline_interval,
             "timeline_bounds": self.timeline_bounds,
+            "cell_timeout_seconds": self.cell_timeout_seconds,
         }
 
     @classmethod

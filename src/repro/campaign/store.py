@@ -30,9 +30,11 @@ from __future__ import annotations
 import json
 import os
 import time
+import warnings
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
+from repro import faults
 from repro.sim.results import SimulationResults
 
 RESULTS_FILENAME = "results.jsonl"
@@ -55,11 +57,26 @@ class ResultStore:
             raise ValueError(f"no result store at {self.directory}")
         self.path = self.directory / RESULTS_FILENAME
         self._index: Dict[str, Dict] = {}
+        #: Unparseable lines skipped on load — nonzero after a crash
+        #: mid-append (normally exactly the one truncated trailing line).
+        self.corrupt_lines = 0
+        self._puts = 0
+        self._needs_newline = False
         self._load()
 
     def _load(self) -> None:
         if not self.path.exists():
             return
+        # A crash mid-append can leave the file without a trailing newline;
+        # appending straight after it would corrupt the *next* (good)
+        # record by gluing it onto the half line.  Note the repair needed
+        # and apply it lazily on the first write, so read-only consumers
+        # (status/export) never mutate the file.
+        with self.path.open("rb") as raw:
+            raw.seek(0, os.SEEK_END)
+            if raw.tell() > 0:
+                raw.seek(-1, os.SEEK_END)
+                self._needs_newline = raw.read(1) != b"\n"
         with self.path.open("r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()
@@ -69,7 +86,10 @@ class ResultStore:
                     record = json.loads(line)
                 except json.JSONDecodeError:
                     # A crash mid-append leaves at most one truncated line;
-                    # everything before it is intact.
+                    # everything before it is intact.  Tolerate it (the cell
+                    # it belonged to reads as absent, so a re-run redoes it)
+                    # but tell the operator something died mid-write.
+                    self.corrupt_lines += 1
                     continue
                 if isinstance(record, dict) and "key" in record and (
                     "result" in record or "error" in record
@@ -77,6 +97,14 @@ class ResultStore:
                     # Last line per key wins: a retried cell's success
                     # replaces its earlier error record (and vice versa).
                     self._index[record["key"]] = record
+        if self.corrupt_lines:
+            warnings.warn(
+                f"result store {self.path} contained {self.corrupt_lines} "
+                "unparseable line(s) — likely a crash mid-append; the "
+                "affected cell(s) will be re-simulated on the next run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     # ------------------------------------------------------------------ lookups
 
@@ -127,7 +155,18 @@ class ResultStore:
 
     def _append(self, record: Dict) -> None:
         line = json.dumps(record, sort_keys=True)
+        # Fault hook: ``truncate-store@put=N`` simulates dying mid-append —
+        # half this line lands on disk and the process exits before the
+        # real write below happens.
+        self._puts += 1
+        faults.fire("store", put=self._puts, store_path=str(self.path),
+                    store_line=line + "\n")
         with self.path.open("a", encoding="utf-8") as handle:
+            if self._needs_newline:
+                # Terminate a crash-truncated trailing line first so this
+                # record starts on its own line.
+                handle.write("\n")
+                self._needs_newline = False
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
@@ -147,12 +186,17 @@ class ResultStore:
         meta.setdefault("label", meta["scheme"])
         self._append({"key": key, "meta": meta, "result": result.to_dict()})
 
-    def put_error(self, key: str, error: str, meta: Optional[Dict] = None) -> None:
+    def put_error(self, key: str, error: str, meta: Optional[Dict] = None,
+                  poisoned: bool = False) -> None:
         """Persist a failed-cell outcome under ``key``.
 
         The record survives the process, so ``status`` can report what
         failed after an overnight run exits — but the key still reads as
         absent (see :meth:`get`), so the next ``run`` retries the cell.
+
+        ``poisoned=True`` marks a cell the supervisor quarantined after
+        exhausting its retry budget (repeated worker deaths / wedges) —
+        worth a human look before burning more compute on it.
         """
         record = {
             "key": key,
@@ -160,6 +204,8 @@ class ResultStore:
             "error": str(error),
             "failed_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         }
+        if poisoned:
+            record["poisoned"] = True
         self._append(record)
 
     # ------------------------------------------------------------------ reporting
@@ -171,6 +217,7 @@ class ResultStore:
         errors_by_scheme: Dict[str, int] = {}
         errors_by_workload: Dict[str, int] = {}
         errors = 0
+        poisoned = 0
         for record in self._index.values():
             meta = record.get("meta", {})
             scheme = meta.get("label") or meta.get("scheme") or "?"
@@ -180,12 +227,16 @@ class ResultStore:
                 by_workload[workload] = by_workload.get(workload, 0) + 1
             else:
                 errors += 1
+                if record.get("poisoned"):
+                    poisoned += 1
                 errors_by_scheme[scheme] = errors_by_scheme.get(scheme, 0) + 1
                 errors_by_workload[workload] = errors_by_workload.get(workload, 0) + 1
         return {
             "path": str(self.path),
             "cells": len(self),
             "errors": errors,
+            "poisoned": poisoned,
+            "corrupt_lines": self.corrupt_lines,
             "by_scheme": dict(sorted(by_scheme.items())),
             "by_workload": dict(sorted(by_workload.items())),
             "errors_by_scheme": dict(sorted(errors_by_scheme.items())),

@@ -1,0 +1,408 @@
+"""Fault-tolerant campaign execution: worker leases, retries, quarantine.
+
+:class:`SupervisedExecutor` is the default parallel path for campaigns.
+Unlike the opaque :class:`multiprocessing.Pool` of
+:class:`~repro.campaign.executor.ParallelExecutor`, it manages worker
+processes directly, which is what lets it survive the failures long
+overnight runs actually hit:
+
+* **Leases.**  Every cell attempt runs in its own worker process under a
+  *lease*: the supervisor knows which worker holds which cell, since when,
+  and until when (``cell_timeout``).  The worker writes its outcome to a
+  spool file (atomic rename) and exits; losing the process can never lose
+  an already-completed outcome.
+* **Dead-worker detection.**  A worker that is OOM-killed or SIGKILLed
+  mid-cell is noticed at the next poll (process exit without an outcome
+  file); a *wedged* worker is noticed by its lease deadline or by its
+  heartbeat going stale (heartbeats advance with simulation progress — see
+  :class:`~repro.campaign.executor._ProgressBeat` — so a hung loop goes
+  quiet even though the process is alive).
+* **Retry with capped exponential backoff.**  A revoked cell is requeued
+  after ``backoff_base * 2**(failures-1)`` seconds (capped) and retried on
+  a fresh worker.  If mid-cell auto-snapshots are enabled, the retry
+  resumes from the last snapshot instead of record zero — bit-identical to
+  an uninterrupted run.
+* **Quarantine.**  After ``max_attempts`` revocations the cell is given up
+  as *poisoned*: it completes as an error outcome (persisted as a store
+  error record tagged ``poisoned``) and the campaign moves on — one bad
+  configuration cannot sink a thousand-cell run.
+* **Graceful degradation.**  Every involuntary worker death shrinks the
+  concurrency target by one (never below ``min_workers``): a host that
+  keeps OOM-killing eight workers ends up running serially instead of
+  thrashing.
+
+Everything observable is emitted as schema-validated events —
+``lease_granted`` / ``lease_revoked`` / ``cell_retry`` /
+``cell_quarantined`` — so ``python -m repro.campaign status --live`` shows
+recoveries as they happen, and tests (driven by :mod:`repro.faults` plans)
+assert them deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import multiprocessing.process
+import os
+import signal
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.campaign.executor import CellOutcome, ProgressFn, execute_cell
+from repro.campaign.spec import CampaignCell
+from repro.obs.events import EventLog, ObsSink
+from repro.obs.heartbeat import STALE_AFTER_SECONDS, sweep_dead
+from repro.sim.results import SimulationResults
+
+
+@dataclass
+class SupervisorConfig:
+    """Robustness knobs for :class:`SupervisedExecutor`.
+
+    ``cell_timeout`` is the per-*attempt* wall-clock deadline; ``None``
+    disables deadline revocation (death and staleness still apply).
+    ``stale_after`` revokes a lease whose worker heartbeat has not advanced
+    in that many seconds; ``None`` disables the staleness check.
+    ``snapshot_every`` (records) turns on mid-cell auto-snapshots so
+    retries — and whole re-runs of a killed campaign — resume mid-cell.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.5
+    backoff_cap: float = 30.0
+    cell_timeout: Optional[float] = None
+    stale_after: Optional[float] = STALE_AFTER_SECONDS
+    snapshot_every: Optional[int] = None
+    min_workers: int = 1
+    poll_interval: float = 0.05
+    mp_start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff must be non-negative")
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ValueError("cell_timeout must be positive (or None)")
+        if self.stale_after is not None and self.stale_after <= 0:
+            raise ValueError("stale_after must be positive (or None)")
+        if self.snapshot_every is not None and self.snapshot_every <= 0:
+            raise ValueError("snapshot_every must be positive (or None)")
+        if self.min_workers <= 0:
+            raise ValueError("min_workers must be positive")
+
+    def backoff(self, failures: int) -> float:
+        """Delay before retry number ``failures + 1`` (capped exponential)."""
+        if failures <= 0:
+            return 0.0
+        return min(self.backoff_cap, self.backoff_base * (2.0 ** (failures - 1)))
+
+
+class CampaignInterrupted(KeyboardInterrupt):
+    """Raised by executors after a SIGINT/SIGTERM cleanup (workers killed)."""
+
+
+@dataclass
+class _Lease:
+    """One outstanding cell attempt: which worker, since when, until when."""
+
+    index: int
+    cell: CampaignCell
+    key: str
+    attempt: int
+    worker: str
+    process: "multiprocessing.process.BaseProcess"
+    started: float
+    deadline: Optional[float]
+    outcome_path: Path
+    heartbeat_path: Optional[Path]
+
+
+def _worker_main(
+    worker: str,
+    index: int,
+    cell: CampaignCell,
+    obs: Optional[ObsSink],
+    checkpoint_dir: Optional[str],
+    snapshot_dir: Optional[str],
+    snapshot_every: Optional[int],
+    outcome_path: str,
+) -> None:
+    """Child process body: run one cell, spool the outcome, exit 0.
+
+    The outcome crosses back as JSON via an atomic rename, so a crash at
+    any point leaves either no file (the lease is revoked and retried) or a
+    complete one — never a half-written outcome.
+    """
+    heartbeat = obs.heartbeat_writer(worker) if obs is not None else None
+    try:
+        outcome = execute_cell(
+            cell, obs=obs, worker=worker, heartbeat=heartbeat,
+            checkpoint_dir=checkpoint_dir, cell_index=index,
+            snapshot_dir=snapshot_dir, snapshot_every=snapshot_every,
+        )
+        payload = {
+            "key": outcome.key,
+            "result": outcome.result.to_dict() if outcome.result is not None else None,
+            "error": outcome.error,
+            "wall_seconds": outcome.wall_seconds,
+        }
+        tmp = outcome_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, outcome_path)
+    finally:
+        if heartbeat is not None:
+            heartbeat.clear()
+
+
+class SupervisedExecutor:
+    """Run cells across directly-managed worker processes with leases.
+
+    Drop-in replacement for
+    :class:`~repro.campaign.executor.ParallelExecutor` (same ``run``
+    contract: one outcome per cell, in input order, bit-identical results)
+    plus the recovery behaviour described in the module docstring.  One
+    process is spawned per cell *attempt*; worker slots are named ``w0``,
+    ``w1``, ... and reused, so heartbeat files stay per-slot.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 config: Optional[SupervisorConfig] = None) -> None:
+        if workers is not None and workers <= 0:
+            raise ValueError("workers must be positive")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.config = config if config is not None else SupervisorConfig()
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self,
+        cells: Sequence[CampaignCell],
+        progress: Optional[ProgressFn] = None,
+        obs: Optional[ObsSink] = None,
+        checkpoint_dir: Optional[str] = None,
+        snapshot_dir: Optional[str] = None,
+        snapshot_every: Optional[int] = None,
+    ) -> List[CellOutcome]:
+        if not cells:
+            return []
+        cfg = self.config
+        if snapshot_every is None:
+            snapshot_every = cfg.snapshot_every
+        if snapshot_every is not None and snapshot_dir is None:
+            raise ValueError("snapshot_every requires snapshot_dir")
+        context = multiprocessing.get_context(cfg.mp_start_method)
+        events = obs.event_log() if obs is not None else None
+        heartbeat_dir = Path(obs.heartbeat_dir) if obs is not None and obs.heartbeat_dir else None
+
+        total = len(cells)
+        outcomes: Dict[int, CellOutcome] = {}
+        #: (index, attempt, ready_at) — cells waiting for a worker slot.
+        queue: List[List[float]] = [[index, 1, 0.0] for index in range(total)]
+        failures: Dict[int, int] = {}
+        leases: Dict[str, _Lease] = {}
+        free_slots = [f"w{slot}" for slot in reversed(range(self.workers))]
+        target_workers = min(self.workers, total)
+        done = 0
+
+        with tempfile.TemporaryDirectory(prefix="repro-supervisor-") as spool:
+
+            def complete(index: int, outcome: CellOutcome) -> None:
+                nonlocal done
+                outcomes[index] = outcome
+                done += 1
+                if progress is not None:
+                    progress(done, total, outcome)
+
+            def grant(entry: List[float]) -> None:
+                index, attempt = int(entry[0]), int(entry[1])
+                cell = cells[index]
+                key = cell.key()
+                worker = free_slots.pop()
+                outcome_path = Path(spool) / f"outcome-{index}-{attempt}.json"
+                process = context.Process(
+                    target=_worker_main,
+                    args=(worker, index, cell, obs, checkpoint_dir,
+                          snapshot_dir, snapshot_every, str(outcome_path)),
+                    daemon=True,
+                )
+                process.start()
+                now = time.time()
+                deadline = now + cfg.cell_timeout if cfg.cell_timeout is not None else None
+                leases[worker] = _Lease(
+                    index=index, cell=cell, key=key, attempt=attempt,
+                    worker=worker, process=process, started=now, deadline=deadline,
+                    outcome_path=outcome_path,
+                    heartbeat_path=(heartbeat_dir / f"{worker}.hb.json"
+                                    if heartbeat_dir is not None else None),
+                )
+                if events is not None:
+                    events.emit("lease_granted", key=key, cell=cell.describe(),
+                                worker=worker, attempt=attempt,
+                                timeout=cfg.cell_timeout)
+
+            def read_outcome(lease: _Lease) -> Optional[CellOutcome]:
+                if not lease.outcome_path.exists():
+                    return None
+                with lease.outcome_path.open("r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                result = (SimulationResults.from_dict(payload["result"])
+                          if payload["result"] is not None else None)
+                return CellOutcome(
+                    lease.cell, payload["key"], result, error=payload["error"],
+                    wall_seconds=float(payload["wall_seconds"]),
+                    attempt=lease.attempt,
+                )
+
+            def heartbeat_stale(lease: _Lease, now: float) -> bool:
+                if cfg.stale_after is None:
+                    return False
+                last = lease.started
+                if lease.heartbeat_path is not None:
+                    try:
+                        with lease.heartbeat_path.open("r", encoding="utf-8") as handle:
+                            beat = json.load(handle)
+                        last = max(last, float(beat.get("updated_ts", 0.0)))
+                    except (OSError, ValueError):
+                        pass
+                return (now - last) > cfg.stale_after
+
+            def revoke(lease: _Lease, reason: str) -> None:
+                nonlocal target_workers
+                process = lease.process
+                if process.is_alive():
+                    process.kill()
+                process.join(timeout=10.0)
+                # The worker may have spooled its outcome in the race window
+                # before the kill landed; a completed cell is never retried.
+                finished = read_outcome(lease)
+                del leases[lease.worker]
+                free_slots.append(lease.worker)
+                if finished is not None:
+                    complete(lease.index, finished)
+                    return
+                if lease.heartbeat_path is not None:
+                    try:
+                        lease.heartbeat_path.unlink()
+                    except OSError:
+                        pass
+                count = failures.get(lease.index, 0) + 1
+                failures[lease.index] = count
+                # Involuntary deaths erode trust in parallelism: shrink the
+                # worker target toward serial instead of thrashing.
+                target_workers = max(cfg.min_workers, target_workers - 1)
+                if events is not None:
+                    events.emit("lease_revoked", key=lease.key,
+                                cell=lease.cell.describe(), worker=lease.worker,
+                                attempt=lease.attempt, reason=reason,
+                                failures=count, workers=target_workers)
+                if count >= cfg.max_attempts:
+                    error = (f"poisoned: quarantined after {count} failed attempt(s); "
+                             f"last revocation: {reason}")
+                    if events is not None:
+                        events.emit("cell_quarantined", key=lease.key,
+                                    cell=lease.cell.describe(), attempts=count,
+                                    reason=reason)
+                    complete(lease.index, CellOutcome(
+                        lease.cell, lease.key, None, error=error,
+                        quarantined=True, attempt=lease.attempt,
+                    ))
+                    return
+                delay = cfg.backoff(count)
+                if events is not None:
+                    events.emit("cell_retry", key=lease.key,
+                                cell=lease.cell.describe(), attempt=count + 1,
+                                backoff_seconds=round(delay, 3), reason=reason)
+                queue.append([lease.index, count + 1, time.time() + delay])
+
+            try:
+                while queue or leases:
+                    now = time.time()
+                    # Dispatch every ready cell onto a free slot, up to the
+                    # (possibly degraded) concurrency target.
+                    queue.sort(key=lambda entry: entry[2])
+                    while queue and len(leases) < target_workers and queue[0][2] <= now:
+                        grant(queue.pop(0))
+
+                    progressed = False
+                    for lease in list(leases.values()):
+                        outcome = read_outcome(lease)
+                        if outcome is not None:
+                            lease.process.join(timeout=10.0)
+                            del leases[lease.worker]
+                            free_slots.append(lease.worker)
+                            complete(lease.index, outcome)
+                            progressed = True
+                        elif not lease.process.is_alive():
+                            revoke(lease,
+                                   reason=f"worker-died (exitcode {lease.process.exitcode})")
+                            progressed = True
+                        elif lease.deadline is not None and now > lease.deadline:
+                            revoke(lease, reason="timeout")
+                            progressed = True
+                        elif heartbeat_stale(lease, now):
+                            revoke(lease, reason="stale-heartbeat")
+                            progressed = True
+                    if progressed:
+                        continue
+                    # Nothing moved: sleep until the next backoff expiry (or
+                    # one poll interval while leases are outstanding).
+                    if leases:
+                        time.sleep(cfg.poll_interval)
+                    elif queue:
+                        time.sleep(max(0.0, min(cfg.poll_interval,
+                                                queue[0][2] - time.time())))
+            except KeyboardInterrupt:
+                # Graceful stop: kill outstanding leases, keep what finished.
+                for lease in list(leases.values()):
+                    if lease.process.is_alive():
+                        lease.process.kill()
+                    lease.process.join(timeout=10.0)
+                    if lease.heartbeat_path is not None:
+                        try:
+                            lease.heartbeat_path.unlink()
+                        except OSError:
+                            pass
+                leases.clear()
+                raise CampaignInterrupted() from None
+            finally:
+                if heartbeat_dir is not None:
+                    sweep_dead(heartbeat_dir)
+
+        return [outcomes[index] for index in sorted(outcomes)]
+
+
+def terminate_to_interrupt(signum: int, frame: object) -> None:
+    """Signal handler mapping SIGTERM onto KeyboardInterrupt.
+
+    Installed by the CLI around ``campaign run`` so a ``kill <pid>`` (what
+    schedulers send first) takes the same graceful path as Ctrl-C: leases
+    are killed, completed outcomes stay persisted, and ``campaign_end``
+    reports ``status="interrupted"``.
+    """
+    raise KeyboardInterrupt()
+
+
+def install_signal_handlers() -> Dict[int, object]:
+    """Route SIGTERM to KeyboardInterrupt; returns the previous handlers."""
+    previous: Dict[int, object] = {}
+    try:
+        previous[signal.SIGTERM] = signal.signal(signal.SIGTERM, terminate_to_interrupt)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    return previous
+
+
+def restore_signal_handlers(previous: Dict[int, object]) -> None:
+    """Undo :func:`install_signal_handlers`."""
+    for signum, handler in previous.items():
+        try:
+            signal.signal(signum, handler)  # type: ignore[arg-type]
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass

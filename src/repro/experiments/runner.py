@@ -20,6 +20,7 @@ import hashlib
 import os
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.sim.config import SystemConfig, canonical_json, config_hash
 from repro.sim.engine import RunController, SimulationEngine
 from repro.sim.results import SimulationResults
@@ -267,6 +268,97 @@ class _WarmupCheckpointer(RunController):
         return None
 
 
+class _AutoSnapshotter(RunController):
+    """Run controller that saves a resume snapshot every N processed records.
+
+    Each save atomically overwrites ``path``, so the file always holds the
+    *latest* complete snapshot: a worker SIGKILLed mid-cell loses at most
+    one interval, and the retry (or a whole re-run of the campaign)
+    restores the snapshot and continues bit-identically — snapshots cut
+    between two records, exactly where the engine's own run cuts land.
+    """
+
+    def __init__(self, every: int, path: str, workload_meta: Dict[str, object],
+                 events=None) -> None:
+        self.every = every
+        self.path = path
+        self.workload_meta = workload_meta
+        self.events = events
+        self.saved = 0
+
+    def next_stop(self, processed: int) -> Optional[int]:
+        return processed + (self.every - processed % self.every or self.every)
+
+    def on_edge(self, cursor) -> bool:
+        from repro.obs.snapshot import capture_cursor
+
+        capture_cursor(cursor, workload_meta=self.workload_meta).save(self.path)
+        self.saved += 1
+        if self.events is not None:
+            self.events.emit("snapshot_saved", path=self.path,
+                             records=cursor.processed, auto=True)
+        return False
+
+    def on_finish(self, cursor) -> None:
+        return None
+
+
+class _FaultEdges(RunController):
+    """Fires the fault injector's ``records`` site at the planned counts."""
+
+    def __init__(self, injector, cell: Optional[int], triggers: List[int]) -> None:
+        self.injector = injector
+        self.cell = cell
+        self.triggers = triggers  # ascending; consumed from the front
+
+    def next_stop(self, processed: int) -> Optional[int]:
+        return self.triggers[0] if self.triggers else None
+
+    def on_edge(self, cursor) -> bool:
+        while self.triggers and cursor.processed >= self.triggers[0]:
+            self.triggers.pop(0)
+        self.injector.fire("records", cell=self.cell, records=cursor.processed)
+        return False
+
+    def on_finish(self, cursor) -> None:
+        return None
+
+
+class _ControllerChain(RunController):
+    """Multiplexes several controllers onto the engine's single slot.
+
+    The chain's next stop is the minimum of the members' stops, every
+    member sees every edge (each keeps its own schedule), and any member
+    may stop the run.
+    """
+
+    def __init__(self, members: List[RunController]) -> None:
+        self.members = members
+
+    def next_stop(self, processed: int) -> Optional[int]:
+        stops = [s for s in (m.next_stop(processed) for m in self.members) if s is not None]
+        return min(stops) if stops else None
+
+    def on_edge(self, cursor) -> bool:
+        stop = False
+        for member in self.members:
+            stop = bool(member.on_edge(cursor)) or stop
+        return stop
+
+    def on_finish(self, cursor) -> None:
+        for member in self.members:
+            member.on_finish(cursor)
+
+
+def _chain_controllers(*controllers: Optional[RunController]) -> Optional[RunController]:
+    members = [controller for controller in controllers if controller is not None]
+    if not members:
+        return None
+    if len(members) == 1:
+        return members[0]
+    return _ControllerChain(members)
+
+
 def run_simulation(
     config: SystemConfig,
     workload_name: Optional[str] = None,
@@ -281,6 +373,10 @@ def run_simulation(
     timeline_bounds: Optional[Sequence[float]] = None,
     events=None,
     checkpoint_dir: Optional[str] = None,
+    snapshot_dir: Optional[str] = None,
+    snapshot_every: Optional[int] = None,
+    controller: Optional[RunController] = None,
+    engine_mode: Optional[str] = None,
 ) -> SimulationResults:
     """Run one simulation (optionally memoised through ``cache``).
 
@@ -305,6 +401,22 @@ def run_simulation(
     prefix restore it and simulate only the measured portion.  Results are
     bit-identical either way.  Cells with a timeline attached bypass
     checkpointing: their timeline must cover the warmup windows too.
+
+    ``snapshot_dir`` + ``snapshot_every`` enable **mid-cell auto-snapshots**
+    for named workloads: every ``snapshot_every`` processed records the full
+    engine state is saved (atomically, latest wins) to
+    ``<snapshot_dir>/<cell key>.json``.  If that file already exists when
+    the cell starts — a worker was killed mid-cell, or a whole campaign was
+    killed and re-run — the engine restores it and continues, producing
+    results bit-identical to the uninterrupted run; the file is removed
+    once the cell completes.  Timeline cells bypass snapshotting (their
+    timeline must cover every window from record zero).
+
+    ``controller`` attaches an additional
+    :class:`~repro.sim.batch.RunController` (chained with any internal
+    checkpoint/snapshot controllers).  ``engine_mode`` overrides the engine
+    mode (default: the ``REPRO_ENGINE_MODE`` environment variable, else the
+    engine's default) — results are bit-identical in every mode.
     """
     if (workload_name is None) == (workload is None):
         raise ValueError("provide exactly one of workload_name or workload")
@@ -312,6 +424,12 @@ def run_simulation(
         raise ValueError("warmup_fraction must be in [0, 1)")
     if timeline_bounds is not None and timeline_interval is None:
         raise ValueError("timeline_bounds requires timeline_interval")
+    if snapshot_every is not None and snapshot_every <= 0:
+        raise ValueError("snapshot_every must be positive (or None to disable)")
+    if snapshot_every is not None and snapshot_dir is None:
+        raise ValueError("snapshot_every requires snapshot_dir")
+    if engine_mode is None:
+        engine_mode = os.environ.get("REPRO_ENGINE_MODE") or None
     warmup_records = int(records_per_core * warmup_fraction)
 
     def observer():
@@ -325,9 +443,9 @@ def run_simulation(
 
     if workload is not None:
         system = System(config, workload)
-        return SimulationEngine(system).run(
+        return SimulationEngine(system, mode=engine_mode).run(
             records_per_core, warmup_records_per_core=warmup_records,
-            observer=observer(), events=events,
+            observer=observer(), events=events, controller=controller,
         )
 
     effective_page_size = page_size if page_size is not None else config.dram_cache.page_size
@@ -352,9 +470,42 @@ def run_simulation(
         workload_name, config.num_cores, scale=scale, seed=seed, page_size=effective_page_size
     )
     system = System(config, built)
-    engine = SimulationEngine(system)
-    controller = None
-    if checkpoint_dir is not None and warmup_records > 0 and timeline_interval is None:
+    engine = SimulationEngine(system, mode=engine_mode)
+    workload_meta = {
+        "name": workload_name, "num_cores": config.num_cores,
+        "scale": scale, "seed": seed, "page_size": effective_page_size,
+    }
+
+    # Mid-cell auto-snapshots: restore a leftover snapshot (a crashed
+    # attempt's progress) and keep saving fresh ones as this run advances.
+    snapshot_path = None
+    resumed_mid_cell = False
+    snapshotter: Optional[_AutoSnapshotter] = None
+    if snapshot_dir is not None and snapshot_every is not None and timeline_interval is None:
+        cell_key = simulation_cell_key(
+            config, workload_name, records_per_core, scale, seed, warmup_fraction,
+            effective_page_size,
+        )
+        snapshot_path = os.path.join(snapshot_dir, f"{cell_key}.json")
+        if os.path.exists(snapshot_path):
+            from repro.obs.snapshot import EngineSnapshot
+
+            try:
+                engine.restore(EngineSnapshot.load(snapshot_path))
+                resumed_mid_cell = True
+            except (ValueError, KeyError, OSError):
+                # A stale or truncated snapshot is a fresh start, not an
+                # error; this run overwrites it at the next interval.
+                resumed_mid_cell = False
+        if resumed_mid_cell and events is not None:
+            events.emit("snapshot_restored", path=snapshot_path,
+                        workload=workload_name, seed=seed)
+        snapshotter = _AutoSnapshotter(snapshot_every, snapshot_path,
+                                       workload_meta, events=events)
+
+    checkpointer = None
+    if (checkpoint_dir is not None and warmup_records > 0
+            and timeline_interval is None and not resumed_mid_cell):
         ckpt_key = warmup_checkpoint_key(
             config, workload_name, scale, seed, effective_page_size, warmup_records
         )
@@ -376,18 +527,34 @@ def run_simulation(
                             workload=workload_name, seed=seed,
                             warmup_records_per_core=warmup_records)
         else:
-            controller = _WarmupCheckpointer(
+            checkpointer = _WarmupCheckpointer(
                 warmup_records * config.num_cores, ckpt_path,
-                workload_meta={
-                    "name": workload_name, "num_cores": config.num_cores,
-                    "scale": scale, "seed": seed, "page_size": effective_page_size,
-                },
+                workload_meta=workload_meta,
                 events=events,
             )
+
+    # Deterministic fault injection (chaos runs / tests only): fire the
+    # planned ``records=`` triggers from controller edges, after any
+    # snapshot scheduled at the same edge has been saved.
+    fault_edges = None
+    injector = faults.active_injector()
+    if injector is not None:
+        triggers = injector.record_triggers(faults.current_cell())
+        if triggers:
+            fault_edges = _FaultEdges(injector, faults.current_cell(), triggers)
+
     result = engine.run(
         records_per_core, warmup_records_per_core=warmup_records,
-        observer=observer(), events=events, controller=controller,
+        observer=observer(), events=events,
+        controller=_chain_controllers(controller, checkpointer, snapshotter, fault_edges),
     )
+    if snapshot_path is not None:
+        # The cell completed; its resume point is spent.  Leaving it would
+        # make the *next* identical run resume at the end and skip the cell.
+        try:
+            os.remove(snapshot_path)
+        except OSError:
+            pass
     if cache is not None and key is not None:
         meta = simulation_cell_meta(
             config, workload_name, records_per_core, scale, seed, warmup_fraction,

@@ -49,6 +49,11 @@ EVENT_TYPES = frozenset({
     "inspect_resume",  # inspector: engine resumed after a pause
     "snapshot_saved",  # inspector/checkpoint: engine snapshot written to disk
     "checkpoint_hit",  # campaign: a cell restored a shared warmup checkpoint
+    "snapshot_restored",  # runner: a cell resumed mid-run from an auto-snapshot
+    "lease_granted",   # supervisor: a cell was leased to a worker process
+    "lease_revoked",   # supervisor: a lease died/timed out/went stale
+    "cell_retry",      # supervisor: a revoked cell was requeued with backoff
+    "cell_quarantined",  # supervisor: a cell exhausted its attempts (poisoned)
 })
 
 #: Fields every event carries.

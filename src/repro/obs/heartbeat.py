@@ -21,6 +21,8 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from repro import faults
+
 #: Heartbeats older than this are flagged stale by readers.
 STALE_AFTER_SECONDS = 300.0
 
@@ -52,6 +54,11 @@ class HeartbeatWriter:
             "started_ts": self.started_ts,
             "cells_done": self.cells_done,
         }
+        if faults.heartbeat_dropped():
+            # Injected liveness failure: the worker keeps running but its
+            # heartbeat file freezes — exactly what a wedged writer looks
+            # like to the supervisor's staleness check.
+            return payload
         tmp = self.path.with_suffix(".tmp")
         with tmp.open("w", encoding="utf-8") as handle:
             json.dump(payload, handle, sort_keys=True)
@@ -96,3 +103,53 @@ def is_stale(beat: Dict[str, object], now: Optional[float] = None,
     """Whether a heartbeat has not been refreshed within ``stale_after``."""
     now = time.time() if now is None else now
     return (now - float(beat.get("updated_ts", 0.0))) > stale_after
+
+
+def pid_alive(pid: object) -> bool:
+    """Whether ``pid`` names a live process on this host.
+
+    ``os.kill(pid, 0)`` probes without signalling; ``EPERM`` means the
+    process exists but belongs to someone else, which still counts as
+    alive.  Anything unparseable reads as dead.
+    """
+    try:
+        pid_int = int(pid)  # type: ignore[arg-type, call-overload]
+    except (TypeError, ValueError):
+        return False
+    if pid_int <= 0:
+        return False
+    try:
+        os.kill(pid_int, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return False
+    return True
+
+
+def sweep_dead(directory: object) -> int:
+    """Remove heartbeat files whose PID is gone; returns how many.
+
+    Executors call this after a run so finished (or killed) campaigns do
+    not leave ghost workers for ``status --live``; the reader-side filter
+    in the CLI covers stores swept by nobody.
+    """
+    base = Path(str(directory))
+    if not base.is_dir():
+        return 0
+    removed = 0
+    for path in base.glob(f"*{_SUFFIX}"):
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(payload, dict) and not pid_alive(payload.get("pid")):
+            try:
+                path.unlink()
+                removed += 1
+            except FileNotFoundError:
+                pass
+    return removed

@@ -139,8 +139,15 @@ def test_store_skips_truncated_trailing_line(tmp_path):
     store.put("k1", result, meta={"workload": "gcc"})
     with store.path.open("a", encoding="utf-8") as handle:
         handle.write('{"key": "k2", "result": {"trunc')  # simulated crash mid-append
-    reopened = ResultStore(tmp_path / "store")
+    with pytest.warns(RuntimeWarning, match="unparseable"):
+        reopened = ResultStore(tmp_path / "store")
     assert len(reopened) == 1 and reopened.get("k1") == result
+    # Appending after the crash must not glue the new record onto the
+    # truncated line: the store terminates the half line first.
+    reopened.put("k3", result, meta={"workload": "gcc"})
+    with pytest.warns(RuntimeWarning):
+        final = ResultStore(tmp_path / "store")
+    assert len(final) == 2 and final.get("k3") == result
 
 
 def test_results_persist_per_cell_not_per_batch(tmp_path):

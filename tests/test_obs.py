@@ -292,8 +292,9 @@ def test_timeline_identical_across_serial_and_parallel(tmp_path):
     names = {r["event"] for r in read_events(obs.events_path, validate=True)}
     assert {"campaign_start", "campaign_end", "cell_start", "cell_finish",
             "heartbeat", "run_start", "run_end"} <= names
-    beats = read_heartbeats(obs.heartbeat_dir)
-    assert {"serial"} <= {b["worker"] for b in beats}
+    # Clean exits remove heartbeat files: a finished campaign must not show
+    # ghost workers to ``status --live``.
+    assert read_heartbeats(obs.heartbeat_dir) == []
 
 
 def test_timeline_interval_extends_cell_key_only_when_set():
